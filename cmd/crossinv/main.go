@@ -1,0 +1,205 @@
+// Command crossinv is the compiler driver: it parses a loop-nest-language
+// program, runs the dependence analysis, reports the candidate regions, and
+// executes the program under the chosen strategy, verifying every parallel
+// execution against the sequential result.
+//
+// Usage:
+//
+//	crossinv [flags] <program.lnl>
+//
+//	-mode     seq | barrier | domore | speccross | all   (default all)
+//	-workers  worker thread count (default 4)
+//	-region   candidate region index (default: last detected)
+//	-report   print the per-region analysis report and exit
+//	-dump     print the lowered IR and exit
+//	-profile  run the §4.4 profiling pass before speculating (speccross)
+//	-ckpt     SPECCROSS checkpoint period in epochs (default 1000)
+//
+// Example:
+//
+//	crossinv -mode all -workers 8 examples/compiler/stencil.lnl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crossinv/internal/core"
+	"crossinv/internal/ir"
+	"crossinv/internal/ir/interp"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/sim"
+	"crossinv/internal/transform/speccrossgen"
+)
+
+var (
+	mode    = flag.String("mode", "all", "execution mode: seq|barrier|domore|speccross|all")
+	workers = flag.Int("workers", 4, "worker thread count")
+	region  = flag.Int("region", -1, "candidate region index (-1: last)")
+	report  = flag.Bool("report", false, "print the analysis report and exit")
+	dump    = flag.Bool("dump", false, "print the lowered IR and exit")
+	profile = flag.Bool("profile", false, "profile before speculating")
+	ckpt    = flag.Int("ckpt", 1000, "speccross checkpoint period (epochs)")
+	sweep   = flag.Bool("sweep", false, "print a 2..24-thread virtual-time scalability sweep and exit")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crossinv [flags] <program.lnl>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := core.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		fmt.Print(c.Prog.Dump())
+		return
+	}
+	if *report {
+		if len(c.Regions) == 0 {
+			fmt.Println("no candidate regions (no outer loop with parallel inner loops)")
+			return
+		}
+		for _, r := range c.Regions {
+			fmt.Print(c.Report(r))
+		}
+		return
+	}
+
+	var target *ir.Loop
+	if len(c.Regions) > 0 {
+		idx := *region
+		if idx < 0 {
+			idx = len(c.Regions) - 1
+		}
+		target, err = c.Region(idx)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *sweep {
+		if target == nil {
+			fatal(fmt.Errorf("no candidate region to sweep"))
+		}
+		runSweep(c, target)
+		return
+	}
+
+	seqEnv, err := c.RunSequential()
+	if err != nil {
+		fatal(err)
+	}
+	want := seqEnv.Checksum()
+	fmt.Printf("sequential: checksum %016x\n", want)
+
+	runMode := func(m string) {
+		if target == nil {
+			fmt.Printf("%-10s skipped (no candidate region)\n", m)
+			return
+		}
+		start := time.Now()
+		var got uint64
+		switch m {
+		case "barrier":
+			res, err := c.RunBarriers(target, *workers)
+			if err != nil {
+				fmt.Printf("%-10s inapplicable: %v\n", m, err)
+				return
+			}
+			got = res.Env.Checksum()
+			idle, waits := res.Barrier.Stats()
+			fmt.Printf("%-10s checksum %016x  %v  (barrier waits %d, idle %v)\n",
+				m, got, time.Since(start).Round(time.Microsecond), waits, idle.Round(time.Microsecond))
+		case "domore":
+			res, err := c.RunDOMORE(target, *workers)
+			if err != nil {
+				fmt.Printf("%-10s inapplicable: %v\n", m, err)
+				return
+			}
+			got = res.Env.Checksum()
+			fmt.Printf("%-10s checksum %016x  %v  (iterations %d, sync conditions %d, stalls %d)\n",
+				m, got, time.Since(start).Round(time.Microsecond),
+				res.Stats.Iterations, res.Stats.SyncConditions, res.Stats.Stalls)
+		case "speccross":
+			res, err := c.RunSpecCross(target, speccross.Config{
+				Workers: *workers, CheckpointEvery: *ckpt,
+			}, *profile)
+			if err != nil {
+				fmt.Printf("%-10s inapplicable: %v\n", m, err)
+				return
+			}
+			got = res.Env.Checksum()
+			fmt.Printf("%-10s checksum %016x  %v  (tasks %d, misspeculations %d, checkpoints %d)\n",
+				m, got, time.Since(start).Round(time.Microsecond),
+				res.Stats.Tasks, res.Stats.Misspeculations, res.Stats.Checkpoints)
+		}
+		if got != want {
+			fmt.Fprintf(os.Stderr, "FAIL: %s checksum %016x != sequential %016x\n", m, got, want)
+			os.Exit(1)
+		}
+	}
+
+	switch *mode {
+	case "seq":
+	case "all":
+		runMode("barrier")
+		runMode("domore")
+		runMode("speccross")
+	case "barrier", "domore", "speccross":
+		runMode(*mode)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// runSweep compiles the region into an instruction-counted virtual-time
+// trace and prints the scalability series the paper's figures plot: the
+// barrier baseline, DOMORE's pipeline, and SPECCROSS with the profiled
+// speculative range.
+func runSweep(c *core.Compiled, target *ir.Loop) {
+	fresh := interp.NewEnv(c.Prog)
+	r, err := speccrossgen.New(c.Prog, c.Dep, target, fresh, 1)
+	if err != nil {
+		fatal(err)
+	}
+	tr := r.Trace(0)
+	pr := r.Profile(signature.Exact)
+	dist, _ := pr.Recommended(24)
+	seq := tr.SeqTime()
+	m := sim.DefaultModel()
+	fmt.Printf("virtual-time sweep (%d epochs, %d tasks, min dependence distance %s)\n",
+		len(tr.Epochs), tr.Tasks(), distText(pr))
+	fmt.Printf("%8s %12s %12s %12s\n", "threads", "barrier", "domore", "speccross")
+	for th := 2; th <= 24; th += 2 {
+		bar := sim.SimBarrier(tr, th, m)
+		dom := sim.SimDomore(tr, th-1, m)
+		spec := sim.SimSpecCross(tr, sim.SpecConfig{
+			Workers: th - 1, CheckpointEvery: len(tr.Epochs), SpecDistance: dist,
+		}, m)
+		fmt.Printf("%8d %11.2fx %11.2fx %11.2fx\n", th, bar.Speedup(seq), dom.Speedup(seq), spec.Speedup(seq))
+	}
+}
+
+func distText(pr speccross.ProfileResult) string {
+	if pr.MinDistance == speccross.NoConflict {
+		return "* (none)"
+	}
+	return fmt.Sprintf("%d", pr.MinDistance)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crossinv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Chapter 5, plus the motivating Fig 3.3 and Fig 4.3):
+//
+//	experiments all            # everything below, in order
+//	experiments table5.1       # benchmark suite details
+//	experiments table5.2       # DOMORE scheduler/worker ratio
+//	experiments table5.3       # SPECCROSS task/epoch/request counts + min distances
+//	experiments fig3.3         # CG: DOMORE vs pthread-barrier speedup
+//	experiments fig4.3         # barrier overhead at 8 and 24 threads
+//	experiments fig5.1         # DOMORE vs barrier, six benchmarks
+//	experiments fig5.2         # SPECCROSS vs barrier, eight benchmarks
+//	experiments fig5.3         # speedup vs checkpoint count, with/without misspeculation
+//	experiments fig5.4         # best speedups vs previous work
+//	experiments fig5.6         # FLUIDANIMATE case study
+//
+// Speedup series are produced by the virtual-time simulator driven by each
+// workload's recorded trace (see DESIGN.md substitution 1); counter tables
+// are produced by running the real concurrent engines. Flags:
+//
+//	-scale N     input scale factor (default 1)
+//	-threads N   maximum thread count of the sweeps (default 24)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"crossinv/internal/sim"
+	"crossinv/internal/workloads"
+
+	_ "crossinv/internal/workloads/blackscholes"
+	_ "crossinv/internal/workloads/cg"
+	_ "crossinv/internal/workloads/eclat"
+	_ "crossinv/internal/workloads/equake"
+	_ "crossinv/internal/workloads/fdtd"
+	_ "crossinv/internal/workloads/fluidanimate"
+	_ "crossinv/internal/workloads/jacobi"
+	_ "crossinv/internal/workloads/llubench"
+	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/symm"
+)
+
+var (
+	scale      = flag.Int("scale", 1, "input scale factor")
+	maxThreads = flag.Int("threads", 24, "maximum thread count in sweeps")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"all"}
+	}
+	runners := map[string]func(){
+		"table5.1": table51,
+		"table5.2": table52,
+		"table5.3": table53,
+		"fig3.3":   fig33,
+		"fig4.3":   fig43,
+		"fig5.1":   fig51,
+		"fig5.2":   fig52,
+		"fig5.3":   fig53,
+		"fig5.4":   fig54,
+		"fig5.6":   fig56,
+	}
+	order := []string{
+		"table5.1", "fig3.3", "fig4.3", "fig5.1", "table5.2",
+		"fig5.2", "fig5.3", "table5.3", "fig5.4", "fig5.6",
+	}
+	for _, a := range args {
+		if a == "all" {
+			for _, name := range order {
+				runners[name]()
+			}
+			continue
+		}
+		f, ok := runners[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		f()
+	}
+}
+
+// threadSweep yields the x-axis of the scalability figures.
+func threadSweep() []int {
+	var ts []int
+	for t := 2; t <= *maxThreads; t += 2 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// traceOf builds (and caches) a benchmark's trace at the current scale.
+var traceCache = map[string]*sim.Trace{}
+
+func traceOf(name string) *sim.Trace {
+	if tr, ok := traceCache[name]; ok {
+		return tr
+	}
+	e, err := workloads.Find(name)
+	if err != nil {
+		panic(err)
+	}
+	tr := e.Make(*scale).Trace()
+	traceCache[name] = tr
+	return tr
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func header(title string) {
+	fmt.Printf("\n==========================================================\n")
+	fmt.Printf("%s\n", title)
+	fmt.Printf("==========================================================\n")
+}
+
+func sortedNames(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+// specNames are the eight SPECCROSS-evaluated programs (Fig 5.2).
+var specNames = []string{"CG", "EQUAKE", "FDTD", "FLUIDANIMATE", "JACOBI", "LLUBENCH", "LOOPDEP", "SYMM"}
+
+// domoreNames are the six DOMORE-evaluated programs (Fig 5.1).
+// FLUIDANIMATE here is FLUIDANIMATE-1 (ComputeForce only).
+var domoreNames = []string{"BLACKSCHOLES", "CG", "ECLAT", "FLUIDANIMATE-1", "LLUBENCH", "SYMM"}

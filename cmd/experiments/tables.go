@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/sim"
+	"crossinv/internal/workloads"
+)
+
+// table51 regenerates Table 5.1: the benchmark suite details and per-
+// benchmark applicability of the two techniques.
+func table51() {
+	header("Table 5.1 — evaluated benchmark programs")
+	fmt.Printf("%-14s %-10s %-16s %-12s %8s %10s\n",
+		"benchmark", "suite", "function", "inner plan", "DOMORE", "SPECCROSS")
+	for _, e := range workloads.All() {
+		check := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		fmt.Printf("%-14s %-10s %-16s %-12s %8s %10s\n",
+			e.Name, e.Suite, e.Function, e.Plan, check(e.DomoreOK), check(e.SpecOK))
+	}
+}
+
+// table52 regenerates Table 5.2: the scheduler/worker time ratio of the
+// DOMORE-parallelized programs, computed from the traces' per-iteration
+// scheduler cost versus task cost (what the paper measured on its testbed).
+func table52() {
+	header("Table 5.2 — DOMORE scheduler/worker ratio (%)")
+	paper := map[string]float64{
+		"BLACKSCHOLES": 4.5, "CG": 4.1, "ECLAT": 12.5,
+		"FLUIDANIMATE-1": 21.5, "LLUBENCH": 1.7, "SYMM": 1.5,
+	}
+	m := sim.DefaultModel()
+	fmt.Printf("%-16s %12s %12s\n", "benchmark", "measured", "paper")
+	for _, name := range domoreNames {
+		tr := domoreTrace(name)
+		var sched, work int64
+		for _, e := range tr.Epochs {
+			for _, t := range e.Tasks {
+				if t.SchedCost > 0 {
+					sched += t.SchedCost
+				} else {
+					sched += m.SchedPerIter + m.SchedPerAddr*int64(len(t.Reads)+len(t.Writes))
+				}
+				work += t.Cost
+			}
+		}
+		fmt.Printf("%-16s %11.1f%% %11.1f%%\n", name, 100*float64(sched)/float64(work), paper[name])
+	}
+}
+
+// table53 regenerates Table 5.3: per-benchmark task, epoch, and checking-
+// request counts from a real SPECCROSS execution, plus the profiled minimum
+// dependence distances at two input scales (the paper's train/ref inputs).
+func table53() {
+	header("Table 5.3 — SPECCROSS execution and profiling details")
+	fmt.Printf("%-14s %10s %8s %10s %12s %12s\n",
+		"benchmark", "tasks", "epochs", "checking", "min dist", "min dist")
+	fmt.Printf("%-14s %10s %8s %10s %12s %12s\n", "", "", "", "requests", "(train)", "(ref)")
+	for _, name := range specNames {
+		e, err := workloads.Find(name)
+		if err != nil {
+			panic(err)
+		}
+		kind := signature.Range
+		if e.Exact {
+			kind = signature.Exact
+		}
+
+		// Profiling at two scales (train = 1, ref = 2).
+		train := speccross.Profile(e.Make(1).(speccross.Workload), signature.Exact, 6)
+		ref := speccross.Profile(e.Make(2).(speccross.Workload), signature.Exact, 6)
+
+		// One real speculative execution for the counters.
+		inst := e.Make(1).(speccross.Workload)
+		cfg := speccross.Config{Workers: 4, CheckpointEvery: 1000, SigKind: kind}
+		if dist, profitable := train.Recommended(cfg.Workers); profitable {
+			cfg.SpecDistance = dist
+		} else {
+			cfg.SpecDistance = train.MinDistance
+		}
+		stats := speccross.Run(inst, cfg)
+
+		fmt.Printf("%-14s %10d %8d %10d %12s %12s\n",
+			name, stats.Tasks, stats.Epochs+stats.ReexecutedEpochs, stats.CheckRequests,
+			fmtDist(train.MinDistance), fmtDist(ref.MinDistance))
+	}
+	fmt.Println("* marks no observed cross-invocation conflict (unbounded speculation is safe)")
+	fmt.Println("note: this port's synthetic inputs have structural (scale-invariant) distances;")
+	fmt.Println("the paper's train/ref inputs differ because its distances are data-dependent")
+}
+
+func fmtDist(d int64) string {
+	if d == speccross.NoConflict {
+		return "*"
+	}
+	return fmt.Sprintf("%d", d)
+}

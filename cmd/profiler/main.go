@@ -1,0 +1,138 @@
+// Command profiler runs the SPECCROSS dependence-distance profiling pass
+// (§4.4) over benchmarks or LNL programs, reporting the observed conflicts
+// and the minimum dependence distance that bounds safe speculation — the
+// inputs to Table 5.3.
+//
+// Usage:
+//
+//	profiler -bench CG               # profile a registered benchmark
+//	profiler -bench all              # profile all SPECCROSS benchmarks
+//	profiler <program.lnl>           # profile an LNL program's region
+//
+//	-scale N    benchmark input scale (default 1)
+//	-window N   epochs of history to compare against (default 6)
+//	-workers N  report profitability for this worker count (default 24)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"crossinv/internal/core"
+	"crossinv/internal/ir/interp"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/transform/speccrossgen"
+	"crossinv/internal/workloads"
+
+	_ "crossinv/internal/workloads/blackscholes"
+	_ "crossinv/internal/workloads/cg"
+	_ "crossinv/internal/workloads/eclat"
+	_ "crossinv/internal/workloads/equake"
+	_ "crossinv/internal/workloads/fdtd"
+	_ "crossinv/internal/workloads/fluidanimate"
+	_ "crossinv/internal/workloads/jacobi"
+	_ "crossinv/internal/workloads/llubench"
+	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/symm"
+)
+
+var (
+	bench    = flag.String("bench", "", "registered benchmark name, or \"all\"")
+	scale    = flag.Int("scale", 1, "benchmark input scale")
+	window   = flag.Int("window", 6, "profiling window in epochs")
+	nworkers = flag.Int("workers", 24, "worker count for the profitability check")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *bench == "all":
+		for _, e := range workloads.All() {
+			if e.SpecOK {
+				profileBench(e)
+			}
+		}
+	case *bench != "":
+		e, err := workloads.Find(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		profileBench(e)
+	case flag.NArg() == 1:
+		profileLNL(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: profiler [-bench NAME|all] [<program.lnl>]")
+		os.Exit(2)
+	}
+}
+
+func profileBench(e workloads.Entry) {
+	inst := e.Make(*scale)
+	sw, ok := inst.(speccross.Workload)
+	if !ok {
+		fmt.Printf("%s: no SPECCROSS adapter\n", e.Name)
+		return
+	}
+	res := speccross.Profile(sw, signature.Exact, *window)
+	report(e.Name, res)
+}
+
+func profileLNL(path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := core.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if len(c.Regions) == 0 {
+		fatal(fmt.Errorf("%s: no candidate region", path))
+	}
+	for i, region := range c.Regions {
+		env := interp.NewEnv(c.Prog)
+		r, err := speccrossgen.New(c.Prog, c.Dep, region, env, 1)
+		if err != nil {
+			fmt.Printf("region %d: %v\n", i, err)
+			continue
+		}
+		report(fmt.Sprintf("%s region %d", path, i), r.Profile(signature.Exact))
+	}
+}
+
+func report(name string, res speccross.ProfileResult) {
+	fmt.Printf("%s: %d tasks over %d epochs, %d conflicts\n", name, res.Tasks, res.Epochs, res.Conflicts)
+	if res.MinDistance == speccross.NoConflict {
+		fmt.Printf("  min dependence distance: * (none observed — unbounded speculation is safe)\n")
+	} else {
+		fmt.Printf("  min dependence distance: %d tasks\n", res.MinDistance)
+	}
+	if len(res.PerLoop) > 0 {
+		labels := make([]string, 0, len(res.PerLoop))
+		for l := range res.PerLoop {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Printf("  loop %-24s min distance %d\n", l, res.PerLoop[l])
+		}
+	}
+	dist, profitable := res.Recommended(*nworkers)
+	if profitable {
+		if dist == 0 {
+			fmt.Printf("  recommendation: speculate unbounded with %d workers\n", *nworkers)
+		} else {
+			fmt.Printf("  recommendation: speculate with range %d for %d workers\n", dist, *nworkers)
+		}
+	} else {
+		fmt.Printf("  recommendation: do not speculate with %d workers (distance below threshold, §4.4)\n", *nworkers)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiler:", err)
+	os.Exit(1)
+}

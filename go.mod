@@ -1,0 +1,3 @@
+module crossinv
+
+go 1.22

@@ -1,0 +1,186 @@
+package depend
+
+import (
+	"fmt"
+
+	"crossinv/internal/ir"
+)
+
+// Access is one array load or store with its derived subscript form and the
+// loop nest enclosing it.
+type Access struct {
+	Instr   *ir.Instr
+	Array   string
+	IsWrite bool
+	// Form is the subscript as an affine form over enclosing loop variables
+	// and outer scalars, or unknown.
+	Form Lin
+	// Loops is the stack of enclosing loops, outermost first.
+	Loops []*ir.Loop
+}
+
+// InLoop reports whether the access is (transitively) inside l.
+func (a *Access) InLoop(l *ir.Loop) bool {
+	for _, x := range a.Loops {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// innermostIndexIn returns the position of l in the access's loop stack,
+// or -1.
+func (a *Access) loopDepth(l *ir.Loop) int {
+	for i, x := range a.Loops {
+		if x == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// Result holds all accesses of a program, grouped for the dependence
+// queries the transformation passes ask.
+type Result struct {
+	Prog     *ir.Program
+	Accesses []*Access
+	byInstr  map[int]*Access
+	// paramDef records, for each synthetic parameter introduced for a
+	// scalar assigned a non-affine value (e.g. start = S[i]), the loop
+	// stack of its defining write. A parameter varies with respect to loop
+	// l iff l is on its defining stack — the value is recomputed inside l.
+	paramDef map[string][]*ir.Loop
+}
+
+// AccessOf returns the Access for an instruction ID, or nil.
+func (r *Result) AccessOf(id int) *Access { return r.byInstr[id] }
+
+// Analyze symbolically evaluates the program and collects every array
+// access with its subscript form.
+func Analyze(p *ir.Program) *Result {
+	r := &Result{Prog: p, byInstr: map[int]*Access{}, paramDef: map[string][]*ir.Loop{}}
+	ev := &evaluator{res: r, regs: make([]Lin, p.NumRegs), vars: map[string]Lin{}}
+	ev.nodes(p.Body, nil)
+	return r
+}
+
+// evaluator performs abstract interpretation over the loop tree, mapping
+// registers and scalar variables to affine forms.
+type evaluator struct {
+	res  *Result
+	regs []Lin
+	vars map[string]Lin
+}
+
+func (ev *evaluator) nodes(nodes []ir.Node, loops []*ir.Loop) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			ev.step(n, loops)
+		case *ir.Loop:
+			ev.instrs(n.Lo, loops)
+			ev.instrs(n.Hi, loops)
+			// The induction variable is symbolic inside the loop.
+			saved, had := ev.vars[n.Var]
+			ev.vars[n.Var] = VarForm(n.Var)
+			ev.nodes(n.Body, append(loops, n))
+			// Conservatively havoc scalars written inside the body: their
+			// value after the loop depends on the trip count.
+			havocWrites(n.Body, ev.vars)
+			if had {
+				ev.vars[n.Var] = saved
+			} else {
+				delete(ev.vars, n.Var)
+			}
+		case *ir.If:
+			ev.instrs(n.Cond, loops)
+			ev.nodes(n.Then, loops)
+			ev.nodes(n.Else, loops)
+			// Join: scalars written in either branch become unknown.
+			havocWrites(n.Then, ev.vars)
+			havocWrites(n.Else, ev.vars)
+		}
+	}
+}
+
+func (ev *evaluator) instrs(instrs []*ir.Instr, loops []*ir.Loop) {
+	for _, in := range instrs {
+		ev.step(in, loops)
+	}
+}
+
+func (ev *evaluator) step(in *ir.Instr, loops []*ir.Loop) {
+	switch in.Op {
+	case ir.Const:
+		ev.regs[in.Dst] = ConstForm(in.Imm)
+	case ir.Add:
+		ev.regs[in.Dst] = AddLin(ev.regs[in.A], ev.regs[in.B])
+	case ir.Sub:
+		ev.regs[in.Dst] = SubLin(ev.regs[in.A], ev.regs[in.B])
+	case ir.Mul:
+		ev.regs[in.Dst] = MulLin(ev.regs[in.A], ev.regs[in.B])
+	case ir.Div, ir.Mod, ir.CmpEq, ir.CmpNe, ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe:
+		ev.regs[in.Dst] = Unknown()
+	case ir.ReadVar:
+		if f, ok := ev.vars[in.Var]; ok {
+			ev.regs[in.Dst] = f
+		} else {
+			// An outer scalar with no tracked form: treat the name itself
+			// as a symbolic parameter (fixed within any loop invocation).
+			ev.regs[in.Dst] = VarForm(in.Var)
+		}
+	case ir.WriteVar:
+		f := ev.regs[in.A]
+		if !f.Known {
+			// The scalar holds a non-affine value (e.g. start = S[i],
+			// Fig 3.1). Model it as a fresh symbolic parameter: fixed for
+			// the lifetime of this definition, varying across iterations of
+			// any loop enclosing the write. This is what lets the CG inner
+			// loop stay analyzable with symbolic bounds.
+			name := fmt.Sprintf("%%%s#%d", in.Var, in.ID)
+			ev.res.paramDef[name] = cloneLoops(loops)
+			f = VarForm(name)
+		}
+		ev.vars[in.Var] = f
+	case ir.Load:
+		a := &Access{
+			Instr: in, Array: in.Array, IsWrite: false,
+			Form: ev.regs[in.A], Loops: cloneLoops(loops),
+		}
+		ev.res.Accesses = append(ev.res.Accesses, a)
+		ev.res.byInstr[in.ID] = a
+		ev.regs[in.Dst] = Unknown() // loaded values are not affine
+	case ir.Store:
+		a := &Access{
+			Instr: in, Array: in.Array, IsWrite: true,
+			Form: ev.regs[in.A], Loops: cloneLoops(loops),
+		}
+		ev.res.Accesses = append(ev.res.Accesses, a)
+		ev.res.byInstr[in.ID] = a
+	}
+}
+
+func cloneLoops(loops []*ir.Loop) []*ir.Loop {
+	c := make([]*ir.Loop, len(loops))
+	copy(c, loops)
+	return c
+}
+
+// havocWrites sets every scalar written inside the node list to unknown.
+func havocWrites(nodes []ir.Node, vars map[string]Lin) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			if n.Op == ir.WriteVar {
+				vars[n.Var] = Unknown()
+			}
+		case *ir.Loop:
+			havocWrites(n.Body, vars)
+			vars[n.Var] = Unknown()
+		case *ir.If:
+			havocWrites(n.Then, vars)
+			havocWrites(n.Else, vars)
+		}
+	}
+}

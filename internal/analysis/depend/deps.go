@@ -1,0 +1,314 @@
+package depend
+
+import (
+	"fmt"
+
+	"crossinv/internal/ir"
+)
+
+// Dep is one memory dependence between two accesses.
+type Dep struct {
+	Src, Dst *Access
+	// CrossIteration marks dependences between different iterations of the
+	// queried loop; the rest are loop-independent.
+	CrossIteration bool
+	// Distance is the dependence distance in iterations when the SIV test
+	// resolved it; HasDistance is false for unknown distances.
+	Distance    int64
+	HasDistance bool
+}
+
+// String renders the dependence for reports.
+func (d Dep) String() string {
+	dist := "?"
+	if d.HasDistance {
+		dist = fmt.Sprintf("%d", d.Distance)
+	}
+	return fmt.Sprintf("%s: i%d -> i%d (distance %s)", d.Src.Array, d.Src.Instr.ID, d.Dst.Instr.ID, dist)
+}
+
+// DOALLStatus classifies a parallel-loop candidate.
+type DOALLStatus int
+
+// DOALL classifications. Proven means the affine tests disprove all
+// cross-iteration dependences; RuntimeDependent means the analysis could
+// neither prove nor disprove them (index arrays, unknown subscripts) — the
+// Chapter 2 limitation DOMORE and SPECCROSS target; Disproven means a
+// definite cross-iteration dependence exists, so the parfor annotation is
+// wrong.
+const (
+	Proven DOALLStatus = iota
+	RuntimeDependent
+	Disproven
+)
+
+// String returns the classification name.
+func (s DOALLStatus) String() string {
+	switch s {
+	case Proven:
+		return "proven-DOALL"
+	case RuntimeDependent:
+		return "runtime-dependent"
+	case Disproven:
+		return "disproven"
+	default:
+		return fmt.Sprintf("DOALLStatus(%d)", int(s))
+	}
+}
+
+// stripVar returns the form with the v term removed, and v's coefficient.
+func stripVar(f Lin, v string) (rest Lin, coeff int64) {
+	if !f.Known {
+		return Unknown(), 0
+	}
+	coeff = f.Coeff(v)
+	rest = f.clone()
+	if rest.Coeffs != nil {
+		delete(rest.Coeffs, v)
+		rest.normalize()
+	}
+	return rest, coeff
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// varVaries reports whether variable name, appearing in access a's
+// subscript, takes different values across iterations of l: it names a loop
+// nested inside l on a's loop stack, or it is a synthetic parameter whose
+// definition sits inside l.
+func (r *Result) varVaries(name string, a *Access, l *ir.Loop) bool {
+	if def, ok := r.paramDef[name]; ok {
+		for _, x := range def {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	depth := a.loopDepth(l)
+	if depth < 0 {
+		return false
+	}
+	for _, x := range a.Loops[depth+1:] {
+		if x.Var == name {
+			return true
+		}
+	}
+	return false
+}
+
+// formVaries reports whether a's subscript mentions any variable (other
+// than l's own induction variable) that varies across iterations of l.
+// Such subscripts cannot be compared by the SIV tests: the "constant" parts
+// of the two iterations differ by unknown amounts.
+func (r *Result) formVaries(a *Access, l *ir.Loop) bool {
+	for v := range a.Form.Coeffs {
+		if v == l.Var {
+			continue
+		}
+		if r.varVaries(v, a, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPair applies the ZIV/SIV/GCD tests to one access pair for
+// cross-iteration dependence with respect to loop l. It reports whether a
+// dependence may exist and, when resolvable, its distance. Subscripts that
+// mention values varying inside l (inner loop variables, scalars recomputed
+// in l's body) are conservatively dependent.
+func (r *Result) TestPair(a1, a2 *Access, l *ir.Loop) (dep bool, distance int64, hasDistance bool) {
+	if !a1.Form.Known || !a2.Form.Known {
+		return true, 0, false
+	}
+	if r.formVaries(a1, l) || r.formVaries(a2, l) {
+		return true, 0, false
+	}
+	v := l.Var
+	r1, c1 := stripVar(a1.Form, v)
+	r2, c2 := stripVar(a2.Form, v)
+	d := SubLin(r2, r1)
+	if !d.Known || !d.IsConst() {
+		// The non-v parts differ by a non-constant (e.g. an inner loop's
+		// variable): cannot disprove.
+		return true, 0, false
+	}
+	diff := d.Const
+	switch {
+	case c1 == 0 && c2 == 0:
+		// ZIV: both subscripts invariant in v.
+		return diff == 0, 0, false
+	case c1 == c2:
+		// Strong SIV: c·(i2 − i1) = −diff ⇒ distance = −diff/c … solve
+		// c*i1 + r1 = c*i2 + r2 ⇒ i1 − i2 = diff/c.
+		if diff%c1 != 0 {
+			return false, 0, false
+		}
+		k := diff / c1
+		if k == 0 {
+			return false, 0, false // same-iteration only
+		}
+		return true, k, true
+	default:
+		// Weak SIV / GCD test: c1·i1 − c2·i2 = diff has an integer solution
+		// iff gcd(c1,c2) divides diff.
+		g := gcd(c1, c2)
+		if g != 0 && diff%g != 0 {
+			return false, 0, false
+		}
+		return true, 0, false
+	}
+}
+
+// CrossIterationDeps returns the possible dependences between different
+// iterations of l, considering every pair of same-array accesses inside l
+// with at least one write.
+func (r *Result) CrossIterationDeps(l *ir.Loop) []Dep {
+	var deps []Dep
+	var inside []*Access
+	for _, a := range r.Accesses {
+		if a.InLoop(l) {
+			inside = append(inside, a)
+		}
+	}
+	for i, a1 := range inside {
+		for _, a2 := range inside[i:] {
+			if a1.Array != a2.Array || (!a1.IsWrite && !a2.IsWrite) {
+				continue
+			}
+			if dep, dist, has := r.TestPair(a1, a2, l); dep {
+				deps = append(deps, Dep{Src: a1, Dst: a2, CrossIteration: true, Distance: dist, HasDistance: has})
+			}
+		}
+	}
+	return deps
+}
+
+// ClassifyParallel checks a parfor candidate: Proven if all cross-iteration
+// dependences are disproven, Disproven if a definite one exists, otherwise
+// RuntimeDependent.
+func (r *Result) ClassifyParallel(l *ir.Loop) DOALLStatus {
+	status := Proven
+	for _, d := range r.CrossIterationDeps(l) {
+		if d.HasDistance || (d.Src.Form.Known && d.Dst.Form.Known && d.Src.Form.Equal(d.Dst.Form) && d.Src.Form.Coeff(l.Var) == 0) {
+			return Disproven
+		}
+		status = RuntimeDependent
+	}
+	return status
+}
+
+// constBounds evaluates a loop's bound sequences when they are constant.
+func constBounds(l *ir.Loop) (lo, hi int64, ok bool) {
+	regs := map[ir.Reg]int64{}
+	eval := func(instrs []*ir.Instr) bool {
+		for _, in := range instrs {
+			switch in.Op {
+			case ir.Const:
+				regs[in.Dst] = in.Imm
+			case ir.Add:
+				regs[in.Dst] = regs[in.A] + regs[in.B]
+			case ir.Sub:
+				regs[in.Dst] = regs[in.A] - regs[in.B]
+			case ir.Mul:
+				regs[in.Dst] = regs[in.A] * regs[in.B]
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !eval(l.Lo) || !eval(l.Hi) {
+		return 0, 0, false
+	}
+	return regs[l.LoReg], regs[l.HiReg], true
+}
+
+// imageRange computes the inclusive address range an access covers across
+// its innermost loop's iteration space, when bounds and form permit.
+func imageRange(a *Access) (lo, hi int64, ok bool) {
+	if !a.Form.Known {
+		return 0, 0, false
+	}
+	if len(a.Loops) == 0 {
+		if a.Form.IsConst() {
+			return a.Form.Const, a.Form.Const, true
+		}
+		return 0, 0, false
+	}
+	inner := a.Loops[len(a.Loops)-1]
+	rest, c := stripVar(a.Form, inner.Var)
+	if !rest.IsConst() {
+		return 0, 0, false
+	}
+	blo, bhi, ok := constBounds(inner)
+	if !ok || bhi <= blo {
+		return 0, 0, false
+	}
+	first := c*blo + rest.Const
+	last := c*(bhi-1) + rest.Const
+	if first > last {
+		first, last = last, first
+	}
+	return first, last, true
+}
+
+// CrossInvocationDeps returns the possible dependences *across* invocations
+// of the parallel loops nested in region: pairs of same-array accesses with
+// at least one write that live in different inner parallel loops (or the
+// same loop, conflicting across its invocations) and are not provably
+// disjoint. These are exactly the dependences the baseline respects with a
+// barrier and the paper's techniques respect with runtime information.
+func (r *Result) CrossInvocationDeps(region *ir.Loop) []Dep {
+	var inside []*Access
+	for _, a := range r.Accesses {
+		if a.InLoop(region) {
+			inside = append(inside, a)
+		}
+	}
+	var deps []Dep
+	for i, a1 := range inside {
+		for _, a2 := range inside[i:] {
+			if a1.Array != a2.Array || (!a1.IsWrite && !a2.IsWrite) {
+				continue
+			}
+			// Same innermost parallel loop and same invocation is the
+			// intra-invocation case handled by CrossIterationDeps; here we
+			// care about different invocations, which always applies since
+			// the region re-invokes every inner loop.
+			if disjointAcrossInvocations(a1, a2) {
+				continue
+			}
+			deps = append(deps, Dep{Src: a1, Dst: a2})
+		}
+	}
+	return deps
+}
+
+// disjointAcrossInvocations attempts to prove the two accesses can never
+// touch the same address in different invocations.
+func disjointAcrossInvocations(a1, a2 *Access) bool {
+	// Constant, distinct subscripts.
+	if a1.Form.IsConst() && a2.Form.IsConst() {
+		return a1.Form.Const != a2.Form.Const
+	}
+	// Disjoint image ranges over their iteration spaces.
+	lo1, hi1, ok1 := imageRange(a1)
+	lo2, hi2, ok2 := imageRange(a2)
+	if ok1 && ok2 {
+		return hi1 < lo2 || hi2 < lo1
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+// Package depend implements the crossinv compiler's memory dependence
+// analysis: it derives linear forms for array subscripts by symbolic
+// evaluation of the IR and applies ZIV/SIV/GCD-style tests to classify
+// same-iteration, cross-iteration, and cross-invocation dependences.
+//
+// The analysis is deliberately conservative in exactly the ways Chapter 2
+// motivates: any subscript it cannot express as an affine function of loop
+// variables (e.g. one read through an index array, Loop_B of Fig 2.1) is
+// "unknown" and forces an assumed dependence — the imprecision DOMORE and
+// SPECCROSS exist to overcome with runtime information.
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lin is a linear (affine) form c + Σ coeff(v)·v over named variables, or
+// "unknown" when the value is not affine in the visible variables.
+type Lin struct {
+	Known  bool
+	Const  int64
+	Coeffs map[string]int64 // zero-valued entries are normalized away
+}
+
+// Unknown is the non-affine form.
+func Unknown() Lin { return Lin{} }
+
+// ConstForm returns the constant form c.
+func ConstForm(c int64) Lin { return Lin{Known: true, Const: c} }
+
+// VarForm returns the form 1·v.
+func VarForm(v string) Lin {
+	return Lin{Known: true, Coeffs: map[string]int64{v: 1}}
+}
+
+// Coeff returns the coefficient of v (0 if absent).
+func (l Lin) Coeff(v string) int64 {
+	return l.Coeffs[v]
+}
+
+// IsConst reports whether the form has no variable terms.
+func (l Lin) IsConst() bool { return l.Known && len(l.Coeffs) == 0 }
+
+func (l Lin) clone() Lin {
+	c := Lin{Known: l.Known, Const: l.Const}
+	if len(l.Coeffs) > 0 {
+		c.Coeffs = make(map[string]int64, len(l.Coeffs))
+		for k, v := range l.Coeffs {
+			c.Coeffs[k] = v
+		}
+	}
+	return c
+}
+
+func (l *Lin) normalize() {
+	for k, v := range l.Coeffs {
+		if v == 0 {
+			delete(l.Coeffs, k)
+		}
+	}
+	if len(l.Coeffs) == 0 {
+		l.Coeffs = nil
+	}
+}
+
+// AddLin returns a + b.
+func AddLin(a, b Lin) Lin {
+	if !a.Known || !b.Known {
+		return Unknown()
+	}
+	r := a.clone()
+	r.Const += b.Const
+	for v, c := range b.Coeffs {
+		if r.Coeffs == nil {
+			r.Coeffs = map[string]int64{}
+		}
+		r.Coeffs[v] += c
+	}
+	r.normalize()
+	return r
+}
+
+// SubLin returns a - b.
+func SubLin(a, b Lin) Lin {
+	if !a.Known || !b.Known {
+		return Unknown()
+	}
+	return AddLin(a, ScaleLin(b, -1))
+}
+
+// ScaleLin returns k·a.
+func ScaleLin(a Lin, k int64) Lin {
+	if !a.Known {
+		return Unknown()
+	}
+	r := a.clone()
+	r.Const *= k
+	for v := range r.Coeffs {
+		r.Coeffs[v] *= k
+	}
+	r.normalize()
+	return r
+}
+
+// MulLin returns a·b when at least one side is constant, otherwise unknown
+// (subscripts quadratic in loop variables are outside the affine domain).
+func MulLin(a, b Lin) Lin {
+	if !a.Known || !b.Known {
+		return Unknown()
+	}
+	if a.IsConst() {
+		return ScaleLin(b, a.Const)
+	}
+	if b.IsConst() {
+		return ScaleLin(a, b.Const)
+	}
+	return Unknown()
+}
+
+// Equal reports structural equality of two forms.
+func (l Lin) Equal(o Lin) bool {
+	if l.Known != o.Known {
+		return false
+	}
+	if !l.Known {
+		return true
+	}
+	if l.Const != o.Const || len(l.Coeffs) != len(o.Coeffs) {
+		return false
+	}
+	for v, c := range l.Coeffs {
+		if o.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the form, e.g. "2*i + j + 3" or "⊤" for unknown.
+func (l Lin) String() string {
+	if !l.Known {
+		return "⊤"
+	}
+	vars := make([]string, 0, len(l.Coeffs))
+	for v := range l.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var parts []string
+	for _, v := range vars {
+		c := l.Coeffs[v]
+		switch c {
+		case 1:
+			parts = append(parts, v)
+		case -1:
+			parts = append(parts, "-"+v)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, v))
+		}
+	}
+	if l.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", l.Const))
+	}
+	return strings.Join(parts, " + ")
+}

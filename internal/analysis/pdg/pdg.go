@@ -1,0 +1,416 @@
+// Package pdg builds program dependence graphs over IR instructions — the
+// PDGs of Figs 2.4, 3.1 and 3.6(b) that drive the DOMORE partitioner and
+// the SPECCROSS region test. Nodes are instruction IDs; edges carry their
+// origin (register, scalar, memory, control) and whether they are
+// loop-carried for the region loop (the dashed edges of Fig 3.6(b)).
+package pdg
+
+import (
+	"fmt"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/scc"
+	"crossinv/internal/ir"
+)
+
+// EdgeKind describes what a dependence edge carries.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	RegEdge     EdgeKind = iota // virtual-register def→use
+	ScalarEdge                  // named-scalar flow/anti/output
+	MemoryEdge                  // array flow/anti/output
+	ControlEdge                 // loop/if control
+)
+
+var kindNames = [...]string{"reg", "scalar", "memory", "control"}
+
+// String returns the kind name.
+func (k EdgeKind) String() string { return kindNames[k] }
+
+// Edge is one dependence between two instructions (by ID).
+type Edge struct {
+	Src, Dst int
+	Kind     EdgeKind
+	// LoopCarried marks edges that cross iterations of some loop inside the
+	// region, or of the region loop itself.
+	LoopCarried bool
+	// InnerToInner marks carried edges whose endpoints both live inside
+	// parallel inner loops — Fig 3.6(b)'s dashed edges: the cross-iteration
+	// and cross-invocation dependences DOMORE's runtime enforces. Only
+	// these may be ignored when partitioning; a carried dependence touching
+	// the sequential region is a hard pipeline constraint.
+	InnerToInner bool
+	// Privatizable marks carried scalar edges between a sequential-region
+	// definition and a parallel-body use: MTCG forwards a per-invocation
+	// copy of such live-ins (§3.3.2 step 4), so the carried flow/anti
+	// relationship is satisfied by privatization rather than by the
+	// partition, and the partitioner may ignore these edges too.
+	Privatizable bool
+}
+
+// Graph is a program dependence graph over the instructions of one region.
+type Graph struct {
+	Prog   *ir.Program
+	Region *ir.Loop // nil means the whole program body
+	// Nodes lists member instruction IDs in textual order.
+	Nodes []int
+	// Index maps instruction ID to its dense node index.
+	Index map[int]int
+	Edges []Edge
+}
+
+// Build constructs the PDG for a region (a loop's body, or the whole
+// program when region is nil), using dep for memory disambiguation.
+func Build(p *ir.Program, dep *depend.Result, region *ir.Loop) *Graph {
+	g := &Graph{Prog: p, Region: region, Index: map[int]int{}}
+	b := &builder{g: g, dep: dep, regDef: map[ir.Reg]int{}}
+
+	var roots []ir.Node
+	if region != nil {
+		roots = region.Body
+	} else {
+		roots = p.Body
+	}
+	b.collect(roots, 0)
+	b.regEdges()
+	b.scalarEdges()
+	b.memoryEdges()
+	return g
+}
+
+// member records per-node structural facts used to classify edges.
+type member struct {
+	id        int
+	instr     *ir.Instr
+	loopDepth int        // nesting depth of loops inside the region
+	loops     []*ir.Loop // loops inside the region enclosing this node
+	order     int        // textual order
+	// controlDeps are instruction IDs whose values control this node's
+	// execution (enclosing if-conditions and loop bounds).
+	controlDeps []int
+}
+
+type builder struct {
+	g       *Graph
+	dep     *depend.Result
+	members []member
+	regDef  map[ir.Reg]int // reg → defining node ID
+}
+
+func (b *builder) add(in *ir.Instr, loops []*ir.Loop, ctrl []int) {
+	m := member{
+		id: in.ID, instr: in, loopDepth: len(loops),
+		loops:       append([]*ir.Loop(nil), loops...),
+		order:       len(b.members),
+		controlDeps: append([]int(nil), ctrl...),
+	}
+	b.g.Index[in.ID] = len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, in.ID)
+	b.members = append(b.members, m)
+	if in.Op.HasDst() {
+		b.regDef[in.Dst] = in.ID
+	}
+}
+
+// collect walks the region's loop tree, recording members with their
+// enclosing loop stacks and control dependences.
+func (b *builder) collect(nodes []ir.Node, depth int) {
+	b.collectCtx(nodes, nil, nil)
+	_ = depth
+}
+
+func (b *builder) collectCtx(nodes []ir.Node, loops []*ir.Loop, ctrl []int) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			b.add(n, loops, ctrl)
+		case *ir.Loop:
+			for _, in := range n.Lo {
+				b.add(in, loops, ctrl)
+			}
+			for _, in := range n.Hi {
+				b.add(in, loops, ctrl)
+			}
+			// The loop bounds control everything in the body.
+			bodyCtrl := append(append([]int(nil), ctrl...), boundIDs(n)...)
+			b.collectCtx(n.Body, append(loops, n), bodyCtrl)
+		case *ir.If:
+			for _, in := range n.Cond {
+				b.add(in, loops, ctrl)
+			}
+			var condID []int
+			if len(n.Cond) > 0 {
+				condID = []int{n.Cond[len(n.Cond)-1].ID}
+			}
+			branchCtrl := append(append([]int(nil), ctrl...), condID...)
+			b.collectCtx(n.Then, loops, branchCtrl)
+			b.collectCtx(n.Else, loops, branchCtrl)
+		}
+	}
+}
+
+func boundIDs(l *ir.Loop) []int {
+	var ids []int
+	if len(l.Lo) > 0 {
+		ids = append(ids, l.Lo[len(l.Lo)-1].ID)
+	}
+	if len(l.Hi) > 0 {
+		ids = append(ids, l.Hi[len(l.Hi)-1].ID)
+	}
+	return ids
+}
+
+func (b *builder) edge(src, dst int, kind EdgeKind, carried bool) {
+	b.edgeFull(src, dst, kind, carried, false)
+}
+
+func (b *builder) edgeFull(src, dst int, kind EdgeKind, carried, innerToInner bool) {
+	if src == dst && kind != MemoryEdge {
+		return
+	}
+	b.g.Edges = append(b.g.Edges, Edge{Src: src, Dst: dst, Kind: kind, LoopCarried: carried, InnerToInner: innerToInner})
+}
+
+func (b *builder) edgeScalarCarried(src, dst int, privatizable bool) {
+	if src == dst {
+		return
+	}
+	b.g.Edges = append(b.g.Edges, Edge{Src: src, Dst: dst, Kind: ScalarEdge, LoopCarried: true, Privatizable: privatizable})
+}
+
+// regEdges adds def→use edges; registers are single-assignment by
+// construction of the lowering, so these are exact. Control dependences are
+// added here too (bound/condition → dependent node).
+func (b *builder) regEdges() {
+	for _, m := range b.members {
+		in := m.instr
+		for _, use := range regUses(in) {
+			if def, ok := b.regDef[use]; ok {
+				b.edge(def, in.ID, RegEdge, false)
+			}
+		}
+		for _, c := range m.controlDeps {
+			if _, inRegion := b.g.Index[c]; inRegion {
+				b.edge(c, in.ID, ControlEdge, false)
+			}
+		}
+	}
+}
+
+func regUses(in *ir.Instr) []ir.Reg {
+	switch in.Op {
+	case ir.Const, ir.ReadVar:
+		return nil
+	case ir.Load:
+		return []ir.Reg{in.A}
+	case ir.Store:
+		return []ir.Reg{in.A, in.B}
+	case ir.WriteVar:
+		return []ir.Reg{in.A}
+	default:
+		return []ir.Reg{in.A, in.B}
+	}
+}
+
+// scalarEdges connects named-variable writes and reads. Loop induction
+// variables have no writer inside the region (the loop header owns them);
+// reads of a region-internal loop's variable are control-tied to that
+// loop's bounds instead.
+func (b *builder) scalarEdges() {
+	writes := map[string][]member{}
+	reads := map[string][]member{}
+	loopVars := map[string]*ir.Loop{}
+	for _, m := range b.members {
+		switch m.instr.Op {
+		case ir.WriteVar:
+			writes[m.instr.Var] = append(writes[m.instr.Var], m)
+		case ir.ReadVar:
+			reads[m.instr.Var] = append(reads[m.instr.Var], m)
+		}
+		for _, l := range m.loops {
+			loopVars[l.Var] = l
+		}
+	}
+	for v, ws := range writes {
+		for _, w := range ws {
+			for _, r := range reads[v] {
+				// A scalar written and read inside the region is carried by
+				// any common inner loop — or by the region loop itself,
+				// whose iterations re-execute both (the cost/node
+				// recurrences of Fig 2.4). A sequential-region definition
+				// read inside a parallel body is the live-in pattern MTCG
+				// privatizes, so its carried edges are soft for the
+				// partitioner.
+				carried := shareLoop(w, r) || b.g.Region != nil
+				priv := !inParallelBody(w) && inParallelBody(r)
+				if r.order > w.order {
+					b.edge(w.id, r.id, ScalarEdge, false) // flow
+				}
+				if carried {
+					b.edgeScalarCarried(w.id, r.id, priv) // loop-carried flow
+					b.edgeScalarCarried(r.id, w.id, priv) // loop-carried anti
+				} else if r.order < w.order {
+					b.edge(r.id, w.id, ScalarEdge, false) // anti
+				}
+			}
+			for _, w2 := range ws {
+				if w2.order > w.order {
+					b.edge(w.id, w2.id, ScalarEdge, false) // output
+				}
+				if w.id != w2.id && (shareLoop(w, w2) || b.g.Region != nil) {
+					b.edge(w.id, w2.id, ScalarEdge, true)
+				}
+			}
+		}
+	}
+	// Induction-variable reads depend on their loop's bound computation.
+	for v, l := range loopVars {
+		for _, r := range reads[v] {
+			if !hasLoop(r.loops, l) {
+				continue
+			}
+			for _, bid := range boundIDs(l) {
+				if _, ok := b.g.Index[bid]; ok {
+					b.edge(bid, r.id, ControlEdge, false)
+				}
+			}
+		}
+	}
+}
+
+func shareLoop(a, c member) bool {
+	for _, la := range a.loops {
+		if hasLoop(c.loops, la) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasLoop(loops []*ir.Loop, l *ir.Loop) bool {
+	for _, x := range loops {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// memoryEdges connects same-array access pairs with at least one write,
+// unless the affine tests disprove every aliasing possibility. Pairs that
+// can alias in different iterations of a common enclosing loop get
+// loop-carried edges in both directions (they form the dependence cycles of
+// Fig 3.1(c)); pairs that only alias within one iteration get a textual-
+// order edge.
+func (b *builder) memoryEdges() {
+	var accesses []member
+	for _, m := range b.members {
+		if m.instr.Op == ir.Load || m.instr.Op == ir.Store {
+			accesses = append(accesses, m)
+		}
+	}
+	for i, m1 := range accesses {
+		a1 := b.dep.AccessOf(m1.id)
+		for _, m2 := range accesses[i:] {
+			a2 := b.dep.AccessOf(m2.id)
+			if a1 == nil || a2 == nil {
+				continue
+			}
+			if a1.Array != a2.Array || (!a1.IsWrite && !a2.IsWrite) {
+				continue
+			}
+			// Same-iteration aliasing.
+			if m1.id != m2.id && sameIterAlias(a1, a2) {
+				if m1.order <= m2.order {
+					b.edge(m1.id, m2.id, MemoryEdge, false)
+				} else {
+					b.edge(m2.id, m1.id, MemoryEdge, false)
+				}
+			}
+			// Loop-carried aliasing: test the innermost common loop and the
+			// region loop itself (the latter carries the cross-invocation
+			// dependences of Fig 3.1(c)).
+			carried := false
+			if l := commonLoop(m1, m2); l != nil {
+				if dep, _, _ := b.dep.TestPair(a1, a2, l); dep {
+					carried = true
+				}
+			}
+			if !carried && b.g.Region != nil {
+				if dep, _, _ := b.dep.TestPair(a1, a2, b.g.Region); dep {
+					carried = true
+				}
+			}
+			if carried {
+				i2i := inParallelBody(m1) && inParallelBody(m2)
+				b.edgeFull(m1.id, m2.id, MemoryEdge, true, i2i)
+				if m1.id != m2.id {
+					b.edgeFull(m2.id, m1.id, MemoryEdge, true, i2i)
+				}
+			}
+		}
+	}
+}
+
+// sameIterAlias reports whether two accesses may touch the same address in
+// the same iteration of every common loop (forms equal, or either unknown).
+func sameIterAlias(a1, a2 *depend.Access) bool {
+	if !a1.Form.Known || !a2.Form.Known {
+		return true
+	}
+	d := depend.SubLin(a1.Form, a2.Form)
+	return !d.IsConst() || d.Const == 0
+}
+
+// inParallelBody reports whether the member sits inside some parfor loop.
+func inParallelBody(m member) bool {
+	for _, l := range m.loops {
+		if l.Parallel {
+			return true
+		}
+	}
+	return false
+}
+
+func commonLoop(m1, m2 member) *ir.Loop {
+	// Innermost common loop.
+	var found *ir.Loop
+	for _, l := range m1.loops {
+		if hasLoop(m2.loops, l) {
+			found = l
+		}
+	}
+	return found
+}
+
+// ToSCCGraph converts the PDG into an scc.Graph over dense node indices.
+// When ignoreInnerCarried is set, loop-carried memory edges between
+// parallel-loop bodies are excluded — this is how the DOMORE partitioner
+// sees the graph, because those dependences are enforced at runtime by the
+// scheduler rather than by the partition (the dashed-vs-solid distinction
+// of Fig 3.6). Carried dependences touching the sequential region are
+// always kept: they are pipeline violations the fixed point must see.
+func (g *Graph) ToSCCGraph(ignoreInnerCarried bool) *scc.Graph {
+	sg := scc.NewGraph(len(g.Nodes))
+	for _, e := range g.Edges {
+		if ignoreInnerCarried && e.Kind == MemoryEdge && e.LoopCarried && e.InnerToInner {
+			continue
+		}
+		if ignoreInnerCarried && e.Kind == ScalarEdge && e.LoopCarried && e.Privatizable {
+			continue
+		}
+		si, ok1 := g.Index[e.Src]
+		di, ok2 := g.Index[e.Dst]
+		if ok1 && ok2 && si != di {
+			sg.AddEdge(si, di)
+		}
+	}
+	return sg
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("pdg{nodes=%d edges=%d}", len(g.Nodes), len(g.Edges))
+}

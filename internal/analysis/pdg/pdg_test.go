@@ -1,0 +1,191 @@
+package pdg_test
+
+import (
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/pdg"
+	"crossinv/internal/analysis/scc"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+)
+
+func build(t *testing.T, src string, loopIdx int) (*ir.Program, *pdg.Graph) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	dep := depend.Analyze(p)
+	var region *ir.Loop
+	if loopIdx >= 0 {
+		region = p.Loops[loopIdx]
+	}
+	return p, pdg.Build(p, dep, region)
+}
+
+const cgLike = `
+func cg() {
+  var A[10], B[10], C[100], IDX[100]
+  for i = 0 .. 10 {
+    start = A[i]
+    end = B[i]
+    parfor j = start .. end {
+      C[IDX[j]] = C[IDX[j]] + j
+    }
+  }
+}
+`
+
+func TestBuildWholeProgram(t *testing.T) {
+	p, g := build(t, cgLike, -1)
+	if len(g.Nodes) != len(p.Instrs) {
+		t.Fatalf("nodes = %d, want all %d instructions", len(g.Nodes), len(p.Instrs))
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestRegisterEdgesExact(t *testing.T) {
+	_, g := build(t, `func f() { var A[4] x = 1 + 2 A[x] = x }`, -1)
+	// Each reg has one def; count RegEdge edges and check src defines dst's use.
+	regEdges := 0
+	for _, e := range g.Edges {
+		if e.Kind == pdg.RegEdge {
+			regEdges++
+			if e.Src == e.Dst {
+				t.Fatal("self reg edge")
+			}
+		}
+	}
+	if regEdges == 0 {
+		t.Fatal("expected register def-use edges")
+	}
+}
+
+func TestLoopCarriedMemoryEdges(t *testing.T) {
+	_, g := build(t, `func f() {
+		var A[101]
+		for i = 0 .. 100 { A[i+1] = A[i] + 1 }
+	}`, -1)
+	carried := 0
+	for _, e := range g.Edges {
+		if e.Kind == pdg.MemoryEdge && e.LoopCarried {
+			carried++
+		}
+	}
+	if carried == 0 {
+		t.Fatal("recurrence must produce loop-carried memory edges")
+	}
+}
+
+func TestNoCarriedMemoryEdgesWhenDisjoint(t *testing.T) {
+	_, g := build(t, `func f() {
+		var A[100], B[101]
+		parfor i = 0 .. 100 { A[i] = B[i] + B[i+1] }
+	}`, -1)
+	for _, e := range g.Edges {
+		if e.Kind == pdg.MemoryEdge && e.LoopCarried {
+			t.Fatalf("unexpected loop-carried memory edge %v", e)
+		}
+	}
+}
+
+func TestRegionRestrictsNodes(t *testing.T) {
+	p, g := build(t, cgLike, 0) // region = outer loop
+	// The outer loop's own bound instructions are outside the region.
+	for _, id := range g.Nodes {
+		for _, in := range p.Loops[0].Lo {
+			if in.ID == id {
+				t.Fatal("region contains its own Lo instruction")
+			}
+		}
+	}
+	// Inner loop bound instructions (start/end reads) are inside.
+	found := false
+	for _, id := range g.Nodes {
+		for _, in := range p.Loops[1].Lo {
+			if in.ID == id {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inner loop bounds missing from region PDG")
+	}
+}
+
+func TestIrregularStoreFormsSelfSCC(t *testing.T) {
+	// The CG pattern of Fig 3.6: the irregular update of C participates in a
+	// loop-carried dependence cycle (dashed self-edge) but must not be glued
+	// to the scheduler instructions when carried memory edges are ignored.
+	p, g := build(t, cgLike, 0)
+	full := g.ToSCCGraph(false)
+	pruned := g.ToSCCGraph(true)
+	rFull := scc.Tarjan(full)
+	rPruned := scc.Tarjan(pruned)
+	if rPruned.NumComponents() < rFull.NumComponents() {
+		t.Fatalf("pruning edges cannot reduce component count: full=%d pruned=%d",
+			rFull.NumComponents(), rPruned.NumComponents())
+	}
+	// Find the store to C; in the pruned graph its component must not
+	// contain any instruction from the outer sequential region (the
+	// WriteVar start/end instructions).
+	var storeID int = -1
+	var writeVars []int
+	for _, in := range p.Instrs {
+		if in.Op == ir.Store && in.Array == "C" {
+			storeID = in.ID
+		}
+		if in.Op == ir.WriteVar {
+			writeVars = append(writeVars, in.ID)
+		}
+	}
+	if storeID < 0 || len(writeVars) == 0 {
+		t.Fatal("test setup: missing store or writevar")
+	}
+	sc := rPruned.Comp[g.Index[storeID]]
+	for _, wv := range writeVars {
+		if rPruned.Comp[g.Index[wv]] == sc {
+			t.Fatal("store C glued to sequential region even without carried memory edges")
+		}
+	}
+}
+
+func TestControlEdgesFromBounds(t *testing.T) {
+	p, g := build(t, cgLike, 0)
+	// Body instructions must be control-dependent on the inner loop bounds.
+	inner := p.Loops[1]
+	boundID := inner.Lo[len(inner.Lo)-1].ID
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == pdg.ControlEdge && e.Src == boundID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no control edge from inner loop bound")
+	}
+}
+
+func TestScalarFlowEdges(t *testing.T) {
+	_, g := build(t, `func f() {
+		var A[4]
+		x = 2
+		A[0] = x
+	}`, -1)
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == pdg.ScalarEdge && !e.LoopCarried {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no scalar flow edge from x's write to its read")
+	}
+}

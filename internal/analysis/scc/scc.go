@@ -1,0 +1,164 @@
+// Package scc computes strongly connected components (Tarjan's algorithm)
+// and the condensation DAG over them — the DAG_SCC of Fig 3.6(c) that the
+// DOMORE partitioner walks (§3.3.1) and the structure DSWP-style pipelining
+// relies on (§2.2).
+package scc
+
+import "fmt"
+
+// Graph is a directed graph over dense integer nodes [0, N).
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("scc: invalid node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N reports the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts a directed edge u→v (duplicates are tolerated).
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("scc: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Succs returns the successor list of u (shared, do not mutate).
+func (g *Graph) Succs(u int) []int { return g.adj[u] }
+
+// Result is the SCC decomposition of a graph.
+type Result struct {
+	// Comp maps each node to its component index. Component indices are a
+	// reverse topological order: every edge u→v across components satisfies
+	// Comp[u] > Comp[v].
+	Comp []int
+	// Members lists each component's nodes.
+	Members [][]int
+}
+
+// NumComponents reports the number of SCCs.
+func (r *Result) NumComponents() int { return len(r.Members) }
+
+// Tarjan computes strongly connected components iteratively (explicit
+// stack, so deep IR graphs cannot overflow the goroutine stack).
+func Tarjan(g *Graph) *Result {
+	n := g.n
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	var members [][]int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int // next successor index to visit
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				var ms []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(members)
+					ms = append(ms, w)
+					if w == v {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return &Result{Comp: comp, Members: members}
+}
+
+// Condense builds the DAG over components: an edge C(u)→C(v) for every
+// graph edge u→v crossing components, deduplicated.
+func Condense(g *Graph, r *Result) *Graph {
+	dag := NewGraph(len(r.Members))
+	seen := map[[2]int]bool{}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			cu, cv := r.Comp[u], r.Comp[v]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				dag.AddEdge(cu, cv)
+			}
+		}
+	}
+	return dag
+}
+
+// Topological returns the component indices of the condensation in
+// topological order (sources first). Tarjan emits components in reverse
+// topological order, so this is just the reversal.
+func (r *Result) Topological() []int {
+	order := make([]int, len(r.Members))
+	for i := range order {
+		order[i] = len(r.Members) - 1 - i
+	}
+	return order
+}

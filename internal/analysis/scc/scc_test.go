@@ -1,0 +1,195 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleNodes(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := Tarjan(g)
+	if r.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3", r.NumComponents())
+	}
+	// Edge order: Comp[u] > Comp[v] for u→v.
+	if !(r.Comp[0] > r.Comp[1] && r.Comp[1] > r.Comp[2]) {
+		t.Fatalf("component order violated: %v", r.Comp)
+	}
+}
+
+func TestSimpleCycle(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	r := Tarjan(g)
+	if r.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", r.NumComponents())
+	}
+	if r.Comp[0] != r.Comp[1] || r.Comp[1] != r.Comp[2] {
+		t.Fatalf("cycle not grouped: %v", r.Comp)
+	}
+	if r.Comp[3] == r.Comp[0] {
+		t.Fatal("node 3 must be its own component")
+	}
+}
+
+func TestFig26LoopShape(t *testing.T) {
+	// The Fig 2.4 PDG: statements 3,6 form a cycle; 5 self-cycles; 4 feeds 5.
+	// Nodes: 0=stmt3, 1=stmt4, 2=stmt5, 3=stmt6.
+	g := NewGraph(4)
+	g.AddEdge(0, 1) // 3→4
+	g.AddEdge(0, 3) // 3→6
+	g.AddEdge(3, 0) // 6→3 (cross-iteration)
+	g.AddEdge(1, 2) // 4→5
+	g.AddEdge(2, 2) // 5→5 (cross-iteration)
+	r := Tarjan(g)
+	if r.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3 ({3,6},{4},{5})", r.NumComponents())
+	}
+	if r.Comp[0] != r.Comp[3] {
+		t.Fatal("stmts 3 and 6 must share a component")
+	}
+	dag := Condense(g, r)
+	// DAG must be acyclic: every edge goes from higher comp index to lower.
+	for u := 0; u < dag.N(); u++ {
+		for _, v := range dag.Succs(u) {
+			if u <= v {
+				t.Fatalf("condensation edge %d→%d not topologically ordered", u, v)
+			}
+		}
+	}
+}
+
+func TestSelfLoopSingleton(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	r := Tarjan(g)
+	if r.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", r.NumComponents())
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	r := Tarjan(g)
+	topo := r.Topological()
+	pos := make([]int, len(topo))
+	for i, c := range topo {
+		pos[c] = i
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succs(u) {
+			if pos[r.Comp[u]] >= pos[r.Comp[v]] {
+				t.Fatalf("topological order violated for edge %d→%d", u, v)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	r := Tarjan(NewGraph(0))
+	if r.NumComponents() != 0 {
+		t.Fatalf("components = %d, want 0", r.NumComponents())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewGraph(2).AddEdge(0, 5)
+}
+
+// Properties on random graphs: (1) components partition the node set;
+// (2) mutual reachability within components; (3) condensation edges respect
+// the reverse-topological component numbering (acyclicity).
+func TestQuickSCCProperties(t *testing.T) {
+	prop := func(seed int64, nNodes, nEdges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nNodes%20) + 1
+		g := NewGraph(n)
+		for i := 0; i < int(nEdges); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		r := Tarjan(g)
+		seen := make([]bool, n)
+		for _, ms := range r.Members {
+			for _, v := range ms {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Reachability check via BFS.
+		reach := func(src, dst int) bool {
+			if src == dst {
+				return true
+			}
+			visited := make([]bool, n)
+			queue := []int{src}
+			visited[src] = true
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, v := range g.Succs(u) {
+					if v == dst {
+						return true
+					}
+					if !visited[v] {
+						visited[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				same := r.Comp[u] == r.Comp[v]
+				mutual := reach(u, v) && reach(v, u)
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succs(u) {
+				if r.Comp[u] < r.Comp[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTarjanChain(b *testing.B) {
+	g := NewGraph(10000)
+	for i := 0; i < 9999; i++ {
+		g.AddEdge(i, i+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tarjan(g)
+	}
+}

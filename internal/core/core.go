@@ -1,0 +1,227 @@
+// Package core is the crossinv compiler/runtime façade: the end-to-end
+// automatic parallelization pipeline the paper contributes. It compiles a
+// loop-nest-language program, analyzes its dependences, detects candidate
+// regions, and executes them sequentially, with barrier-synchronized DOALL
+// (the baseline of Figs 5.1–5.2), with DOMORE (Chapter 3), or with
+// SPECCROSS (Chapter 4) — verifying that every strategy computes the
+// sequential result.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/ir"
+	"crossinv/internal/ir/interp"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/runtime/barrier"
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/transform/advisor"
+	"crossinv/internal/transform/mtcg"
+	"crossinv/internal/transform/slice"
+	"crossinv/internal/transform/speccrossgen"
+)
+
+// Compiled is a fully analyzed LNL program.
+type Compiled struct {
+	Prog *ir.Program
+	Dep  *depend.Result
+	// Regions lists candidate outer loops (sequential loops directly
+	// containing parfor children), in preorder.
+	Regions []*ir.Loop
+}
+
+// Compile parses, lowers, and analyzes source text.
+func Compile(src string) (*Compiled, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ir.Lower(astProg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Prog: p, Dep: depend.Analyze(p)}
+	c.Regions = speccrossgen.Detect(p)
+	return c, nil
+}
+
+// ErrNoRegion reports that the program has no candidate region.
+var ErrNoRegion = errors.New("core: program has no outer loop with parallel inner loops")
+
+// Region returns the idx'th candidate region.
+func (c *Compiled) Region(idx int) (*ir.Loop, error) {
+	if idx < 0 || idx >= len(c.Regions) {
+		return nil, ErrNoRegion
+	}
+	return c.Regions[idx], nil
+}
+
+// RunSequential executes the whole program sequentially and returns the
+// final environment (the correctness oracle for every parallel strategy).
+func (c *Compiled) RunSequential() (*interp.Env, error) {
+	return interp.Run(c.Prog)
+}
+
+// runOutside executes program nodes up to (but excluding) the region loop,
+// returning the environment at region entry, and a function that finishes
+// the rest of the program after the region completes.
+func (c *Compiled) runOutside(region *ir.Loop) (*interp.Env, func(*interp.Env) error, error) {
+	env := interp.NewEnv(c.Prog)
+	var before, after []ir.Node
+	found := false
+	for _, n := range c.Prog.Body {
+		if n == ir.Node(region) {
+			found = true
+			continue
+		}
+		if found {
+			after = append(after, n)
+		} else {
+			before = append(before, n)
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("core: region is not a top-level loop")
+	}
+	if err := env.Exec(before); err != nil {
+		return nil, nil, err
+	}
+	finish := func(e *interp.Env) error { return e.Exec(after) }
+	return env, finish, nil
+}
+
+// BarrierResult is the outcome of a barrier-parallelized execution.
+type BarrierResult struct {
+	Env     *interp.Env
+	Barrier *barrier.Barrier
+}
+
+// RunBarriers executes the program with the region parallelized in the
+// classic way: inner loops split across workers, a barrier between
+// invocations (Fig 1.3(b)).
+func (c *Compiled) RunBarriers(region *ir.Loop, workers int) (*BarrierResult, error) {
+	env, finish, err := c.runOutside(region)
+	if err != nil {
+		return nil, err
+	}
+	r, err := speccrossgen.New(c.Prog, c.Dep, region, env, workers)
+	if err != nil {
+		return nil, err
+	}
+	bar := speccross.RunBarriers(r, workers)
+	if err := finish(env); err != nil {
+		return nil, err
+	}
+	return &BarrierResult{Env: env, Barrier: bar}, nil
+}
+
+// DomoreResult is the outcome of a DOMORE execution.
+type DomoreResult struct {
+	Env   *interp.Env
+	Stats domore.Stats
+	Par   *mtcg.Parallelized
+}
+
+// RunDOMORE executes the program with the region transformed by the DOMORE
+// pipeline (partition → slice → MTCG → runtime).
+func (c *Compiled) RunDOMORE(region *ir.Loop, workers int) (*DomoreResult, error) {
+	par, err := mtcg.Transform(c.Prog, c.Dep, region, slice.Options{})
+	if err != nil {
+		return nil, err
+	}
+	env, finish, err := c.runOutside(region)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := par.Run(env, domore.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := finish(env); err != nil {
+		return nil, err
+	}
+	return &DomoreResult{Env: env, Stats: stats, Par: par}, nil
+}
+
+// SpecCrossResult is the outcome of a SPECCROSS execution.
+type SpecCrossResult struct {
+	Env     *interp.Env
+	Stats   speccross.Stats
+	Profile speccross.ProfileResult
+}
+
+// RunSpecCross executes the program with the region transformed by the
+// SPECCROSS pipeline. When profile is true, a §4.4 profiling pass runs
+// first (against a scratch copy of the region state) and its recommended
+// speculative distance is installed into cfg.
+func (c *Compiled) RunSpecCross(region *ir.Loop, cfg speccross.Config, profile bool) (*SpecCrossResult, error) {
+	env, finish, err := c.runOutside(region)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpecCrossResult{}
+	if profile {
+		scratch := interp.NewEnv(c.Prog)
+		for name, a := range env.Arrays {
+			copy(scratch.Arrays[name], a)
+		}
+		pr, err := speccrossgen.New(c.Prog, c.Dep, region, scratch, 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Profile = pr.Profile(cfg.SigKind)
+		dist, profitable := res.Profile.Recommended(cfg.Workers)
+		if !profitable {
+			// The paper declines to speculate below the worker-count
+			// threshold; fall back to barrier execution.
+			r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			speccross.RunBarriers(r, cfg.Workers)
+			if err := finish(env); err != nil {
+				return nil, err
+			}
+			res.Env = env
+			return res, nil
+		}
+		cfg.SpecDistance = dist
+	}
+	r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = speccross.Run(r, cfg)
+	if err := finish(env); err != nil {
+		return nil, err
+	}
+	res.Env = env
+	return res, nil
+}
+
+// Report summarizes the compile-time analysis of a region: the DOALL
+// status of each inner loop, the Chapter 2 advisor's classification of the
+// outer loop (why intra-invocation techniques alone cannot parallelize it),
+// and the cross-invocation dependence count — what Table 5.1's
+// "parallelization plan" column records.
+func (c *Compiled) Report(region *ir.Loop) string {
+	s := fmt.Sprintf("region: outer loop %q at %s\n", region.Var, region.Pos)
+	outer := advisor.Advise(c.Prog, c.Dep, region)
+	s += fmt.Sprintf("  outer loop plan: %v (%s)\n", outer.Plan, outer.Reason)
+	for _, n := range region.Body {
+		if l, ok := n.(*ir.Loop); ok && l.Parallel {
+			s += fmt.Sprintf("  inner %q: %v\n", l.Var, c.Dep.ClassifyParallel(l))
+		}
+	}
+	deps := c.Dep.CrossInvocationDeps(region)
+	s += fmt.Sprintf("  cross-invocation dependences (static, may-alias): %d\n", len(deps))
+	return s
+}
+
+// SignatureKind re-exports the default signature scheme for callers that
+// do not import the signature package directly.
+const SignatureKind = signature.Range

@@ -1,0 +1,259 @@
+// Package interp executes crossinv IR. It is the sequential reference
+// executor for compiled LNL programs, and — through its access hooks — the
+// substrate the runtime engines drive: the DOMORE adapter interprets the
+// sliced computeAddr program and the worker body per iteration, and the
+// SPECCROSS adapter records every load/store into a task signature exactly
+// where Algorithm 5 would have inserted spec_access calls.
+package interp
+
+import (
+	"fmt"
+
+	"crossinv/internal/ir"
+)
+
+// Hooks observe memory traffic during execution. Either hook may be nil.
+type Hooks struct {
+	// OnLoad fires before each array load with the flat address.
+	OnLoad func(addr uint64)
+	// OnStore fires before each array store with the flat address.
+	OnStore func(addr uint64)
+}
+
+// Env is an execution environment: the program's arrays, scalar variables,
+// and a register file. Environments are cheap to fork for worker-private
+// register files while sharing arrays.
+type Env struct {
+	Prog   *ir.Program
+	Arrays map[string][]int64
+	Vars   map[string]int64
+	Regs   []int64
+	Hooks  Hooks
+	// Steps counts executed instructions; the virtual-time trace exporter
+	// uses it as the per-task cost measure.
+	Steps int64
+}
+
+// NewEnv allocates a zeroed environment for the program.
+func NewEnv(p *ir.Program) *Env {
+	e := &Env{
+		Prog:   p,
+		Arrays: make(map[string][]int64, len(p.Arrays)),
+		Vars:   map[string]int64{},
+		Regs:   make([]int64, p.NumRegs),
+	}
+	for name, size := range p.Arrays {
+		e.Arrays[name] = make([]int64, size)
+	}
+	return e
+}
+
+// Fork returns an environment sharing the receiver's arrays but with
+// private scalars and registers — the per-worker state split MTCG performs
+// (each thread owns its registers; shared memory stays shared).
+func (e *Env) Fork() *Env {
+	f := &Env{
+		Prog:   e.Prog,
+		Arrays: e.Arrays,
+		Vars:   make(map[string]int64, len(e.Vars)),
+		Regs:   make([]int64, len(e.Regs)),
+		Hooks:  e.Hooks,
+	}
+	for k, v := range e.Vars {
+		f.Vars[k] = v
+	}
+	return f
+}
+
+// Snapshot deep-copies the array state (the speculative state SPECCROSS
+// checkpoints).
+func (e *Env) Snapshot() map[string][]int64 {
+	cp := make(map[string][]int64, len(e.Arrays))
+	for name, a := range e.Arrays {
+		c := make([]int64, len(a))
+		copy(c, a)
+		cp[name] = c
+	}
+	return cp
+}
+
+// Restore copies a snapshot back over the array state.
+func (e *Env) Restore(snap map[string][]int64) {
+	for name, c := range snap {
+		copy(e.Arrays[name], c)
+	}
+}
+
+// Checksum folds every array into one value, for cheap equivalence checks
+// between execution strategies.
+func (e *Env) Checksum() uint64 {
+	var h uint64 = 1469598103934665603
+	names := make([]string, 0, len(e.Arrays))
+	for n := range e.Arrays {
+		names = append(names, n)
+	}
+	// Sort for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, n := range names {
+		for _, v := range e.Arrays[n] {
+			h ^= uint64(v)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Exec runs a node sequence to completion.
+func (e *Env) Exec(nodes []ir.Node) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			if err := e.Step(n); err != nil {
+				return err
+			}
+		case *ir.Loop:
+			lo, hi, err := e.LoopBounds(n)
+			if err != nil {
+				return err
+			}
+			for i := lo; i < hi; i++ {
+				e.Vars[n.Var] = i
+				if err := e.Exec(n.Body); err != nil {
+					return err
+				}
+			}
+		case *ir.If:
+			if err := e.ExecInstrs(n.Cond); err != nil {
+				return err
+			}
+			if e.Regs[n.CondReg] != 0 {
+				if err := e.Exec(n.Then); err != nil {
+					return err
+				}
+			} else if err := e.Exec(n.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoopBounds evaluates a loop's bound sequences and returns [lo, hi).
+func (e *Env) LoopBounds(l *ir.Loop) (lo, hi int64, err error) {
+	if err := e.ExecInstrs(l.Lo); err != nil {
+		return 0, 0, err
+	}
+	if err := e.ExecInstrs(l.Hi); err != nil {
+		return 0, 0, err
+	}
+	return e.Regs[l.LoReg], e.Regs[l.HiReg], nil
+}
+
+// ExecInstrs runs a straight-line instruction sequence.
+func (e *Env) ExecInstrs(instrs []*ir.Instr) error {
+	for _, in := range instrs {
+		if err := e.Step(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OOBError reports an out-of-bounds array access.
+type OOBError struct {
+	Array string
+	Index int64
+	Size  int64
+}
+
+// Error implements error.
+func (e *OOBError) Error() string {
+	return fmt.Sprintf("index %d out of range for array %s[%d]", e.Index, e.Array, e.Size)
+}
+
+// Step executes one instruction.
+func (e *Env) Step(in *ir.Instr) error {
+	e.Steps++
+	switch in.Op {
+	case ir.Const:
+		e.Regs[in.Dst] = in.Imm
+	case ir.Add:
+		e.Regs[in.Dst] = e.Regs[in.A] + e.Regs[in.B]
+	case ir.Sub:
+		e.Regs[in.Dst] = e.Regs[in.A] - e.Regs[in.B]
+	case ir.Mul:
+		e.Regs[in.Dst] = e.Regs[in.A] * e.Regs[in.B]
+	case ir.Div:
+		if e.Regs[in.B] == 0 {
+			e.Regs[in.Dst] = 0
+		} else {
+			e.Regs[in.Dst] = e.Regs[in.A] / e.Regs[in.B]
+		}
+	case ir.Mod:
+		if e.Regs[in.B] == 0 {
+			e.Regs[in.Dst] = 0
+		} else {
+			e.Regs[in.Dst] = e.Regs[in.A] % e.Regs[in.B]
+		}
+	case ir.CmpEq:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] == e.Regs[in.B])
+	case ir.CmpNe:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] != e.Regs[in.B])
+	case ir.CmpLt:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] < e.Regs[in.B])
+	case ir.CmpLe:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] <= e.Regs[in.B])
+	case ir.CmpGt:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] > e.Regs[in.B])
+	case ir.CmpGe:
+		e.Regs[in.Dst] = b2i(e.Regs[in.A] >= e.Regs[in.B])
+	case ir.Load:
+		arr := e.Arrays[in.Array]
+		idx := e.Regs[in.A]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return &OOBError{Array: in.Array, Index: idx, Size: int64(len(arr))}
+		}
+		if e.Hooks.OnLoad != nil {
+			e.Hooks.OnLoad(e.Prog.Addr(in.Array, idx))
+		}
+		e.Regs[in.Dst] = arr[idx]
+	case ir.Store:
+		arr := e.Arrays[in.Array]
+		idx := e.Regs[in.A]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return &OOBError{Array: in.Array, Index: idx, Size: int64(len(arr))}
+		}
+		if e.Hooks.OnStore != nil {
+			e.Hooks.OnStore(e.Prog.Addr(in.Array, idx))
+		}
+		arr[idx] = e.Regs[in.B]
+	case ir.ReadVar:
+		e.Regs[in.Dst] = e.Vars[in.Var]
+	case ir.WriteVar:
+		e.Vars[in.Var] = e.Regs[in.A]
+	default:
+		return fmt.Errorf("interp: unknown opcode %v", in.Op)
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run parses nothing — it executes a whole lowered program from a fresh
+// environment and returns it.
+func Run(p *ir.Program) (*Env, error) {
+	env := NewEnv(p)
+	if err := env.Exec(p.Body); err != nil {
+		return nil, err
+	}
+	return env, nil
+}

@@ -1,0 +1,114 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func TestLowerArrayLayout(t *testing.T) {
+	p := lower(t, "func f() { var A[10], B[5], C[7] }")
+	if p.AddrSpace != 22 {
+		t.Fatalf("AddrSpace = %d, want 22", p.AddrSpace)
+	}
+	if p.ArrayBase["A"] != 0 || p.ArrayBase["B"] != 10 || p.ArrayBase["C"] != 15 {
+		t.Fatalf("bases = %v", p.ArrayBase)
+	}
+	if p.Addr("B", 3) != 13 {
+		t.Fatalf("Addr(B,3) = %d, want 13", p.Addr("B", 3))
+	}
+}
+
+func TestLowerConstantArraySize(t *testing.T) {
+	p := lower(t, "func f() { var A[4*25+2] }")
+	if p.Arrays["A"] != 102 {
+		t.Fatalf("size = %d, want 102", p.Arrays["A"])
+	}
+}
+
+func TestLowerLoopNumbering(t *testing.T) {
+	p := lower(t, `func f() {
+		var A[10]
+		for t = 0 .. 2 {
+			parfor i = 0 .. 10 { A[i] = i }
+			parfor j = 0 .. 10 { A[j] = j }
+		}
+	}`)
+	if len(p.Loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(p.Loops))
+	}
+	if p.Loops[0].Var != "t" || p.Loops[1].Var != "i" || p.Loops[2].Var != "j" {
+		t.Fatalf("preorder loop vars = %s %s %s", p.Loops[0].Var, p.Loops[1].Var, p.Loops[2].Var)
+	}
+	if p.Loops[0].Parallel || !p.Loops[1].Parallel || !p.Loops[2].Parallel {
+		t.Fatal("parallel flags wrong")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"undeclared array", "func f() { A[0] = 1 }", "undeclared array"},
+		{"undefined scalar", "func f() { x = y }", "undefined variable"},
+		{"non-constant size", "func f() { x = 3 var A[x] }", "constant"},
+		{"negative size", "func f() { var A[0-4] }", "positive"},
+		{"redeclared", "func f() { var A[2], A[3] }", "redeclared"},
+		{"array without index", "func f() { var A[2] A = 1 }", "without index"},
+		{"induction out of scope", "func f() { for i = 0 .. 3 { x = i } y = i }", "undefined variable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := parser.Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := ir.Lower(prog); err == nil {
+				t.Fatalf("Lower succeeded, want error containing %q", c.wantSub)
+			} else if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := lower(t, `func f() {
+		var A[4]
+		parfor i = 0 .. 4 { A[i] = i * 2 }
+	}`)
+	d := p.Dump()
+	for _, want := range []string{"program f", "array A[4] @0", "parfor i", "store A"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInstrIDsAreDense(t *testing.T) {
+	p := lower(t, `func f() {
+		var A[4]
+		for t = 0 .. 2 { parfor i = 0 .. 4 { A[i] = A[i] + t } }
+	}`)
+	for i, in := range p.Instrs {
+		if in.ID != i {
+			t.Fatalf("instr %d has ID %d", i, in.ID)
+		}
+	}
+	if len(p.Instrs) == 0 {
+		t.Fatal("no instructions recorded")
+	}
+}

@@ -1,0 +1,172 @@
+// Package lexer tokenizes loop-nest language source text.
+package lexer
+
+import (
+	"fmt"
+
+	"crossinv/internal/lang/token"
+)
+
+// Lexer scans LNL source into tokens. Comments run from '#' to end of line.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case ' ', '\t', '\r', '\n':
+			l.advance()
+		case '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token, or an error on an invalid byte.
+func (l *Lexer) Next() (token.Token, error) {
+	l.skipSpaceAndComments()
+	pos := token.Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.advance()
+	switch {
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.Number, Lit: l.src[start:l.off], Pos: pos}, nil
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if k, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: k, Lit: lit, Pos: pos}, nil
+		}
+		return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}, nil
+	}
+	mk := func(k token.Kind) (token.Token, error) {
+		return token.Token{Kind: k, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case ',':
+		return mk(token.Comma)
+	case '+':
+		return mk(token.Plus)
+	case '-':
+		return mk(token.Minus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '%':
+		return mk(token.Percent)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return mk(token.DotDot)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "expected '..'"}
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.Assign)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NE)
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "expected '!='"}
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("invalid character %q", c)}
+}
+
+// All tokenizes the whole input, ending with an EOF token.
+func (l *Lexer) All() ([]token.Token, error) {
+	var toks []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lexer
+
+import (
+	"testing"
+
+	"crossinv/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	ks := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		ks[i] = tk.Kind
+	}
+	return ks
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "func main() { }")
+	want := []token.Kind{token.Func, token.Ident, token.LParen, token.RParen, token.LBrace, token.RBrace, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "+ - * / % == != < <= > >= = ..")
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE,
+		token.Assign, token.DotDot, token.EOF,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	toks, err := New("for parfor forx _tmp if else var").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{token.For, token.Parfor, token.Ident, token.Ident, token.If, token.Else, token.Var, token.EOF}
+	for i := range want {
+		if toks[i].Kind != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, want[i])
+		}
+	}
+	if toks[2].Lit != "forx" || toks[3].Lit != "_tmp" {
+		t.Fatalf("identifier literals wrong: %q %q", toks[2].Lit, toks[3].Lit)
+	}
+}
+
+func TestNumbersAndPositions(t *testing.T) {
+	toks, err := New("a = 42\nb = 7").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Lit != "42" || toks[2].Kind != token.Number {
+		t.Fatalf("number token = %v", toks[2])
+	}
+	if toks[3].Pos.Line != 2 || toks[3].Pos.Col != 1 {
+		t.Fatalf("position of b = %v, want 2:1", toks[3].Pos)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	got := kinds(t, "x # whole trailing comment = 1\n= 2 # another")
+	want := []token.Kind{token.Ident, token.Assign, token.Number, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInvalidCharacter(t *testing.T) {
+	if _, err := New("a @ b").All(); err == nil {
+		t.Fatal("expected error for '@'")
+	}
+}
+
+func TestLoneDotAndBang(t *testing.T) {
+	if _, err := New("a . b").All(); err == nil {
+		t.Fatal("expected error for lone '.'")
+	}
+	if _, err := New("a ! b").All(); err == nil {
+		t.Fatal("expected error for lone '!'")
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := New("ok\n  @").All()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Pos.Line != 2 || le.Pos.Col != 3 {
+		t.Fatalf("error position %v, want 2:3", le.Pos)
+	}
+}

@@ -1,0 +1,363 @@
+// Package parser builds loop-nest language ASTs by recursive descent.
+//
+// Grammar (EBNF; '#' comments, integers only):
+//
+//	program  = "func" ident "(" ")" block .
+//	block    = "{" { decl | stmt } "}" .
+//	decl     = "var" ident "[" expr "]" { "," ident "[" expr "]" } .
+//	stmt     = assign | for | if .
+//	assign   = ident [ "[" expr "]" ] "=" expr .
+//	for      = ( "for" | "parfor" ) ident "=" expr ".." expr block .
+//	if       = "if" expr block [ "else" block ] .
+//	expr     = cmp .
+//	cmp      = sum [ ( "=="|"!="|"<"|"<="|">"|">=" ) sum ] .
+//	sum      = term { ( "+" | "-" ) term } .
+//	term     = unary { ( "*" | "/" | "%" ) unary } .
+//	unary    = [ "-" ] primary .
+//	primary  = number | ident [ "[" expr "]" ] | "(" expr ")" .
+package parser
+
+import (
+	"fmt"
+
+	"crossinv/internal/lang/ast"
+	"crossinv/internal/lang/lexer"
+	"crossinv/internal/lang/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// Parse parses a complete LNL program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.New(src).All()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != token.EOF {
+		return nil, p.errorf("unexpected %s after program end", p.cur())
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) next() token.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.cur().Kind != k {
+		return token.Token{}, p.errorf("expected %q, found %s", k.String(), p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) program() (*ast.Program, error) {
+	if _, err := p.expect(token.Func); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{Name: name.Lit, NamePos: name.Pos}
+	body, decls, err := p.block(true)
+	if err != nil {
+		return nil, err
+	}
+	prog.Arrays = decls
+	prog.Body = body
+	return prog, nil
+}
+
+// block parses "{ ... }". Array declarations are only legal in the top-level
+// block (allowDecls); LNL arrays are global to the program.
+func (p *parser) block(allowDecls bool) ([]ast.Stmt, []*ast.ArrayDecl, error) {
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, nil, err
+	}
+	var stmts []ast.Stmt
+	var decls []*ast.ArrayDecl
+	for p.cur().Kind != token.RBrace {
+		if p.cur().Kind == token.EOF {
+			return nil, nil, p.errorf("unterminated block")
+		}
+		if p.cur().Kind == token.Var {
+			if !allowDecls {
+				return nil, nil, p.errorf("array declarations are only allowed at the top level")
+			}
+			ds, err := p.varDecl()
+			if err != nil {
+				return nil, nil, err
+			}
+			decls = append(decls, ds...)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // consume '}'
+	return stmts, decls, nil
+}
+
+func (p *parser) varDecl() ([]*ast.ArrayDecl, error) {
+	pos := p.next().Pos // consume 'var'
+	var decls []*ast.ArrayDecl
+	for {
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.LBracket); err != nil {
+			return nil, err
+		}
+		size, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		decls = append(decls, &ast.ArrayDecl{Name: name.Lit, Size: size, DeclPos: pos})
+		if p.cur().Kind != token.Comma {
+			return decls, nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	switch p.cur().Kind {
+	case token.For, token.Parfor:
+		return p.forStmt()
+	case token.If:
+		return p.ifStmt()
+	case token.Ident:
+		return p.assign()
+	default:
+		return nil, p.errorf("expected statement, found %s", p.cur())
+	}
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	kw := p.next()
+	v, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.DotDot); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := p.block(false)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.For{
+		Var: v.Lit, Lo: lo, Hi: hi, Body: body,
+		Parallel: kw.Kind == token.Parfor, ForPos: kw.Pos,
+	}, nil
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	pos := p.next().Pos
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, _, err := p.block(false)
+	if err != nil {
+		return nil, err
+	}
+	var els []ast.Stmt
+	if p.cur().Kind == token.Else {
+		p.next()
+		els, _, err = p.block(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, IfPos: pos}, nil
+}
+
+func (p *parser) assign() (ast.Stmt, error) {
+	name := p.next()
+	var idx ast.Expr
+	if p.cur().Kind == token.LBracket {
+		p.next()
+		var err error
+		idx, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.Assign); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Assign{Target: name.Lit, Index: idx, Value: val, TargetPos: name.Pos}, nil
+}
+
+var cmpOps = map[token.Kind]ast.Op{
+	token.EQ: ast.Eq, token.NE: ast.Ne, token.LT: ast.Lt,
+	token.LE: ast.Le, token.GT: ast.Gt, token.GE: ast.Ge,
+}
+
+func (p *parser) expr() (ast.Expr, error) {
+	l, err := p.sum()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		p.next()
+		r, err := p.sum()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Bin{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) sum() (ast.Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.Op
+		switch p.cur().Kind {
+		case token.Plus:
+			op = ast.Add
+		case token.Minus:
+			op = ast.Sub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) term() (ast.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.Op
+		switch p.cur().Kind {
+		case token.Star:
+			op = ast.Mul
+		case token.Slash:
+			op = ast.Div
+		case token.Percent:
+			op = ast.Mod
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	if p.cur().Kind == token.Minus {
+		pos := p.next().Pos
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Bin{Op: ast.Sub, L: &ast.Num{Value: 0, NumPos: pos}, R: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	switch p.cur().Kind {
+	case token.Number:
+		t := p.next()
+		var v int64
+		for _, c := range t.Lit {
+			v = v*10 + int64(c-'0')
+		}
+		return &ast.Num{Value: v, NumPos: t.Pos}, nil
+	case token.Ident:
+		t := p.next()
+		if p.cur().Kind == token.LBracket {
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			return &ast.Index{Array: t.Lit, Idx: idx, ArrPos: t.Pos}, nil
+		}
+		return &ast.Ref{Name: t.Lit, RefPos: t.Pos}, nil
+	case token.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", p.cur())
+	}
+}

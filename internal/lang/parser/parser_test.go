@@ -1,0 +1,160 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"crossinv/internal/lang/ast"
+)
+
+const fig13 = `
+# The Fig 1.3 program: two parallel inner loops under a timestep loop.
+func main() {
+  var A[100], B[101]
+  for t = 0 .. 10 {
+    parfor i = 0 .. 100 {
+      A[i] = B[i] + B[i+1]
+    }
+    parfor j = 1 .. 101 {
+      B[j] = A[j-1] * A[j] + j
+    }
+  }
+}
+`
+
+func TestParseFig13Shape(t *testing.T) {
+	prog, err := Parse(fig13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "main" {
+		t.Fatalf("Name = %q", prog.Name)
+	}
+	if len(prog.Arrays) != 2 {
+		t.Fatalf("arrays = %d, want 2", len(prog.Arrays))
+	}
+	if len(prog.Body) != 1 {
+		t.Fatalf("top-level statements = %d, want 1", len(prog.Body))
+	}
+	outer, ok := prog.Body[0].(*ast.For)
+	if !ok || outer.Parallel {
+		t.Fatalf("outer statement = %T parallel=%v, want sequential For", prog.Body[0], outer.Parallel)
+	}
+	if len(outer.Body) != 2 {
+		t.Fatalf("inner loops = %d, want 2", len(outer.Body))
+	}
+	for i, s := range outer.Body {
+		inner, ok := s.(*ast.For)
+		if !ok || !inner.Parallel {
+			t.Fatalf("inner %d = %T, want parfor", i, s)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("func f() { x = 1 + 2 * 3 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Body[0].(*ast.Assign)
+	bin := a.Value.(*ast.Bin)
+	if bin.Op != ast.Add {
+		t.Fatalf("top op = %v, want +", bin.Op)
+	}
+	r := bin.R.(*ast.Bin)
+	if r.Op != ast.Mul {
+		t.Fatalf("right op = %v, want *", r.Op)
+	}
+}
+
+func TestParseUnaryMinus(t *testing.T) {
+	prog, err := Parse("func f() { x = -5 + 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.Body[0].(*ast.Assign)
+	bin := a.Value.(*ast.Bin)
+	l := bin.L.(*ast.Bin)
+	if l.Op != ast.Sub {
+		t.Fatalf("unary minus lowered to %v", l.Op)
+	}
+	if n, ok := l.L.(*ast.Num); !ok || n.Value != 0 {
+		t.Fatal("unary minus should be 0 - x")
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	prog, err := Parse(`func f() {
+		var A[4]
+		parfor i = 0 .. 4 {
+			if A[i] > 2 {
+				A[i] = 0
+			} else {
+				A[i] = 1
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Body[0].(*ast.For)
+	iff := loop.Body[0].(*ast.If)
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Fatalf("then/else lengths %d/%d", len(iff.Then), len(iff.Else))
+	}
+	if _, ok := iff.Cond.(*ast.Bin); !ok {
+		t.Fatalf("cond type %T", iff.Cond)
+	}
+}
+
+func TestParseComparisonInCondition(t *testing.T) {
+	prog, err := Parse("func f() { x = 0 if x <= 3 { x = 1 } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iff := prog.Body[1].(*ast.If)
+	if iff.Cond.(*ast.Bin).Op != ast.Le {
+		t.Fatal("condition operator wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing func", "main() {}", "expected"},
+		{"unterminated block", "func f() { x = 1", "unterminated"},
+		{"nested var decl", "func f() { for i = 0 .. 2 { var A[3] } }", "top level"},
+		{"bad expr", "func f() { x = + }", "expected expression"},
+		{"missing dotdot", "func f() { for i = 0 , 3 { } }", "expected"},
+		{"trailing tokens", "func f() { } garbage", "after program end"},
+		{"array without index on lhs needs idx expr", "func f() { var A[3] A[ = 2 }", "expected expression"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseMultiArrayDecl(t *testing.T) {
+	prog, err := Parse("func f() { var A[1], B[2], C[3] }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Arrays) != 3 {
+		t.Fatalf("arrays = %d, want 3", len(prog.Arrays))
+	}
+	names := []string{"A", "B", "C"}
+	for i, d := range prog.Arrays {
+		if d.Name != names[i] {
+			t.Fatalf("array %d = %q, want %q", i, d.Name, names[i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package token defines the lexical tokens of the loop-nest language (LNL),
+// the small input language the crossinv compiler pipeline operates on. LNL
+// programs express exactly the program shape the paper targets: outer
+// sequential loops containing parallelizable inner loops over arrays
+// (Fig 1.3, Fig 3.1, Fig 4.2).
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+
+	// Keywords.
+	Func
+	Var
+	For
+	Parfor
+	If
+	Else
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Assign  // =
+	DotDot  // ..
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Number: "number",
+	Func: "func", Var: "var", For: "for", Parfor: "parfor", If: "if", Else: "else",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Assign: "=", DotDot: "..",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps source spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"func": Func, "var": Var, "for": For, "parfor": Parfor, "if": If, "else": Else,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for Ident and Number
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

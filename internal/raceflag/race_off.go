@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package raceflag exposes whether the race detector is active; see
+// race_on.go.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

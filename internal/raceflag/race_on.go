@@ -1,0 +1,12 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is active, so tests
+// that exercise *intentional* speculative overlap — racy by design, per the
+// SPECCROSS execution model (§4.2.1): conflicting accesses race until the
+// checker detects them and rolls back — can be skipped under -race while
+// still running (and validating the detection + recovery path) in the
+// normal suite.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

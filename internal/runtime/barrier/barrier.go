@@ -1,0 +1,83 @@
+// Package barrier implements the reusable non-speculative barrier that the
+// paper's baseline parallelizations place between loop invocations
+// (pthread_barrier_wait in Fig 1.3), plus instrumentation that measures how
+// long each thread idles at the barrier — the quantity Fig 4.3 reports as
+// "barrier overhead".
+package barrier
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Barrier is a sense-reversing reusable barrier for a fixed set of
+// participants. It may be reused for any number of phases.
+type Barrier struct {
+	parties int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int    // arrivals in the current phase
+	phase uint64 // generation counter; changing it releases waiters
+
+	waitTime  atomic.Int64 // cumulative nanoseconds spent blocked, all threads
+	waitCount atomic.Int64 // cumulative number of Wait calls
+}
+
+// New returns a barrier for the given number of participating threads.
+func New(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("barrier: invalid party count %d", parties))
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties reports the number of participants the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait for the current phase.
+// It returns true for exactly one (arbitrary) caller per phase — the analog
+// of PTHREAD_BARRIER_SERIAL_THREAD — which callers may use to run per-phase
+// serial work.
+func (b *Barrier) Wait() bool {
+	start := time.Now()
+	serial := b.wait()
+	b.waitTime.Add(time.Since(start).Nanoseconds())
+	b.waitCount.Add(1)
+	return serial
+}
+
+func (b *Barrier) wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return true
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return false
+}
+
+// Stats reports the cumulative time all threads have spent blocked in Wait
+// and the total number of Wait calls. The idle time is the direct measure of
+// the synchronization overhead the paper attributes to barriers (§2.3 cites
+// up to 61% of runtime; Fig 4.3 measures ≥30% for these benchmarks).
+func (b *Barrier) Stats() (idle time.Duration, waits int64) {
+	return time.Duration(b.waitTime.Load()), b.waitCount.Load()
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (b *Barrier) ResetStats() {
+	b.waitTime.Store(0)
+	b.waitCount.Store(0)
+}

@@ -1,0 +1,145 @@
+package barrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInvalidPartiesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSinglePartyNeverBlocks(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 10; i++ {
+		if !b.Wait() {
+			t.Fatal("single-party barrier must always elect the caller as serial")
+		}
+	}
+}
+
+// TestPhaseOrdering checks the fundamental barrier property: all work from
+// phase k is observed by every thread before any work from phase k+1 begins.
+func TestPhaseOrdering(t *testing.T) {
+	const parties = 8
+	const phases = 50
+	b := New(parties)
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan string, parties)
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				counter.Add(1)
+				b.Wait()
+				if got := counter.Load(); got != int64((ph+1)*parties) {
+					errs <- "phase boundary violated"
+					return
+				}
+				b.Wait() // second barrier so no thread races ahead into the next Add
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestExactlyOneSerialPerPhase(t *testing.T) {
+	const parties = 6
+	const phases = 40
+	b := New(parties)
+	var serials atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				if b.Wait() {
+					serials.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := serials.Load(); got != phases {
+		t.Fatalf("serial elections = %d, want %d (one per phase)", got, phases)
+	}
+}
+
+func TestStatsAccumulateIdleTime(t *testing.T) {
+	b := New(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Wait()
+	}()
+	time.Sleep(20 * time.Millisecond) // make the peer idle measurably
+	b.Wait()
+	wg.Wait()
+	idle, waits := b.Stats()
+	if waits != 2 {
+		t.Fatalf("waits = %d, want 2", waits)
+	}
+	if idle < 10*time.Millisecond {
+		t.Fatalf("idle = %v, want at least ~20ms accumulated by the early arriver", idle)
+	}
+	b.ResetStats()
+	if idle, waits := b.Stats(); idle != 0 || waits != 0 {
+		t.Fatalf("after ResetStats: idle=%v waits=%d, want zeros", idle, waits)
+	}
+}
+
+func TestReuseManyPhases(t *testing.T) {
+	const parties = 4
+	b := New(parties)
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for ph := 0; ph < 200; ph++ {
+				sum.Add(int64(id))
+				b.Wait()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := sum.Load(); got != 200*(0+1+2+3) {
+		t.Fatalf("sum = %d, want %d", got, 200*6)
+	}
+}
+
+func BenchmarkBarrierWait(b *testing.B) {
+	for _, parties := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "p2", 4: "p4", 8: "p8"}[parties], func(b *testing.B) {
+			bar := New(parties)
+			var wg sync.WaitGroup
+			for p := 0; p < parties; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						bar.Wait()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

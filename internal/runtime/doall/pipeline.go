@@ -1,0 +1,82 @@
+package doall
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crossinv/internal/runtime/queue"
+)
+
+// RunDOACROSS executes one loop whose iterations carry dependences on their
+// predecessors (§2.2, Figs 2.4–2.5(a)): iterations are dealt round-robin to
+// workers, and the body receives wait/post primitives that enforce the
+// cross-iteration dependence — iteration i's wait blocks until iteration
+// i−1 has posted, so the code between post and the end of the body runs in
+// parallel with other threads while the dependent prefix is serialized.
+func RunDOACROSS(workers, n int, body func(i int, wait, post func())) {
+	if workers <= 0 {
+		panic(fmt.Sprintf("doall: invalid worker count %d", workers))
+	}
+	// posted[i] flips once iteration i's dependence output is ready.
+	posted := make([]atomic.Bool, n+1)
+	posted[0].Store(true) // iteration 0 has no predecessor
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := tid; i < n; i += workers {
+				wait := func() {
+					for spins := 0; !posted[i].Load(); spins++ {
+						if spins > 16 {
+							runtime.Gosched()
+						}
+					}
+				}
+				post := func() { posted[i+1].Store(true) }
+				body(i, wait, post)
+				post() // idempotent: guarantee the successor unblocks
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// RunDSWP executes one loop under decoupled software pipelining (§2.2,
+// Fig 2.5(b)): the body is split into stages, each stage runs on its own
+// thread processing every iteration in order, and values flow strictly
+// forward from stage s to stage s+1 through lock-free queues — the
+// unidirectional pipeline that, unlike DOACROSS, tolerates inter-thread
+// latency.
+//
+// stages[s] receives the iteration index and the value produced by the
+// previous stage (zero for stage 0) and returns the value for the next.
+func RunDSWP(n int, stages []func(i int, in int64) int64) {
+	if len(stages) == 0 {
+		return
+	}
+	queues := make([]*queue.SPSC[int64], len(stages)-1)
+	for i := range queues {
+		queues[i] = queue.NewSPSC[int64](256)
+	}
+	var wg sync.WaitGroup
+	for s := range stages {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				var in int64
+				if s > 0 {
+					in = queues[s-1].Consume()
+				}
+				out := stages[s](i, in)
+				if s < len(stages)-1 {
+					queues[s].Produce(out)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}

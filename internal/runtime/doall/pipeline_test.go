@@ -1,0 +1,101 @@
+package doall
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunDOACROSSSerializesDependentPrefix(t *testing.T) {
+	// The Fig 2.4 loop: cost += doit(node) — a cross-iteration recurrence.
+	// doit (the parallel part) runs before wait; the accumulation runs
+	// between wait and post and must observe program order.
+	const n = 500
+	var cost int64
+	partial := make([]int64, n)
+	RunDOACROSS(4, n, func(i int, wait, post func()) {
+		v := int64(i * i % 97) // doit: independent work
+		wait()
+		cost += v // dependent section, ordered by wait/post
+		partial[i] = cost
+		post()
+	})
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i * i % 97)
+		if partial[i] != want {
+			t.Fatalf("prefix sum at %d = %d, want %d (ordering violated)", i, partial[i], want)
+		}
+	}
+	if cost != want {
+		t.Fatalf("cost = %d, want %d", cost, want)
+	}
+}
+
+func TestRunDOACROSSPostIsIdempotent(t *testing.T) {
+	const n = 100
+	var ran atomic.Int64
+	RunDOACROSS(3, n, func(i int, wait, post func()) {
+		wait()
+		post()
+		post() // explicit double-post must be harmless
+		ran.Add(1)
+	})
+	if ran.Load() != n {
+		t.Fatalf("ran %d iterations, want %d", ran.Load(), n)
+	}
+}
+
+func TestRunDOACROSSInvalidWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunDOACROSS(0, 1, nil)
+}
+
+func TestRunDSWPPipelineOrder(t *testing.T) {
+	// Three stages forming the Fig 2.5(b) pipeline: traverse (produce a
+	// value), compute, accumulate. The accumulator sees values in
+	// iteration order because queues preserve FIFO.
+	const n = 1000
+	var sum int64
+	got := make([]int64, 0, n)
+	RunDSWP(n, []func(i int, in int64) int64{
+		func(i int, _ int64) int64 { return int64(i) * 3 },
+		func(i int, in int64) int64 { return in + 1 },
+		func(i int, in int64) int64 {
+			sum += in
+			got = append(got, in)
+			return 0
+		},
+	})
+	if len(got) != n {
+		t.Fatalf("accumulated %d values", len(got))
+	}
+	var want int64
+	for i := 0; i < n; i++ {
+		v := int64(i)*3 + 1
+		want += v
+		if got[i] != v {
+			t.Fatalf("value %d = %d, want %d (pipeline order violated)", i, got[i], v)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestRunDSWPSingleStage(t *testing.T) {
+	var count int
+	RunDSWP(10, []func(i int, in int64) int64{
+		func(i int, _ int64) int64 { count++; return 0 },
+	})
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestRunDSWPNoStages(t *testing.T) {
+	RunDSWP(5, nil) // must not hang or panic
+}

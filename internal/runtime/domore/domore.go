@@ -1,0 +1,257 @@
+// Package domore implements the DOMORE runtime engine (Chapter 3): the first
+// non-speculative automatic parallelization runtime to exploit
+// cross-invocation parallelism using runtime information.
+//
+// A scheduler thread executes the outer loop's sequential region, redundantly
+// computes the addresses each inner-loop iteration will access (the
+// computeAddr slice of §3.3.4), detects dynamic dependences through shadow
+// memory (§3.2.1), and forwards synchronization conditions ⟨depTid,
+// depIterNum⟩ followed by a dispatch record over per-worker lock-free queues
+// (§3.2.2, Algorithms 1–2). Workers stall only on the conditions they
+// receive — iterations from consecutive invocations overlap freely unless a
+// dependence actually manifests, replacing the global barrier of Fig 3.2(a)
+// with the pipelined plan of Fig 3.2(c).
+//
+// The package also provides the duplicated-scheduler variant of §3.4
+// (Figs 3.8–3.9), which removes the dedicated scheduler thread so DOMORE can
+// compose with SPECCROSS.
+package domore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crossinv/internal/runtime/queue"
+	"crossinv/internal/runtime/sched"
+	"crossinv/internal/runtime/shadow"
+)
+
+// Workload is the code region DOMORE parallelizes: an outer loop whose body
+// is a sequential section followed by one parallelizable inner-loop
+// invocation (the CG loop nest of Fig 3.1 is the canonical shape).
+type Workload interface {
+	// Invocations reports the number of inner-loop invocations (outer-loop
+	// trip count).
+	Invocations() int
+	// Iterations reports the inner-loop trip count for invocation inv.
+	// It is called after Sequential(inv), so bounds computed by the
+	// sequential region are visible.
+	Iterations(inv int) int
+	// Sequential executes the outer-loop code preceding invocation inv
+	// (statements A–C in the CG example). It runs on the scheduler thread.
+	Sequential(inv int)
+	// ComputeAddr appends the shared-memory addresses iteration (inv, iter)
+	// will access to buf and returns it. This is the compiler-generated
+	// computeAddr slice: it must be side-effect free (§3.3.4 aborts the
+	// transformation otherwise). The caller owns buf, so implementations
+	// stay allocation-free and safe for the concurrent replicas of
+	// RunDuplicated (§3.4), which call ComputeAddr from every worker.
+	ComputeAddr(inv, iter int, buf []uint64) []uint64
+	// Execute runs the inner-loop body for iteration (inv, iter) on worker
+	// tid. Under a multi-owner policy (LOCALWRITE) it is invoked once per
+	// owner and must restrict its writes to addresses owned by tid.
+	Execute(inv, iter, tid int)
+}
+
+// Options configures a DOMORE execution.
+type Options struct {
+	// Workers is the number of worker threads (the scheduler is extra).
+	Workers int
+	// Policy assigns iterations to workers; defaults to round-robin.
+	Policy sched.Policy
+	// NewPolicy, when set, constructs a thread-private policy instance for
+	// each replica in RunDuplicated (replicas must not share policy scratch
+	// state). Defaults to fresh round-robin instances; set it when using
+	// LOCALWRITE or a custom policy with the duplicated scheduler.
+	NewPolicy func() sched.Policy
+	// Shadow is the dependence-detection store; defaults to a Sparse store.
+	// For dense integer address spaces a shadow.Dense sized to the space is
+	// markedly faster (§3.2.1 discusses the trade-off).
+	Shadow shadow.Store
+	// QueueCap is the per-worker condition-queue capacity (default 1024).
+	QueueCap int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		panic(fmt.Sprintf("domore: invalid worker count %d", o.Workers))
+	}
+	if o.Policy == nil {
+		o.Policy = sched.NewRoundRobin()
+	}
+	if o.Shadow == nil {
+		o.Shadow = shadow.NewSparse()
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+}
+
+// Stats reports what the runtime engine observed; the experiments harness
+// uses these counters for Table 5.2 and the figure captions.
+type Stats struct {
+	// Iterations is the total number of inner-loop iterations scheduled
+	// (combined across invocations — the paper's global iteration numbers).
+	Iterations int64
+	// Dispatches counts (iteration, worker) pairs; equals Iterations under
+	// single-owner policies and exceeds it under LOCALWRITE.
+	Dispatches int64
+	// SyncConditions counts ⟨depTid, depIterNum⟩ conditions forwarded — the
+	// dynamic dependences that actually manifested across threads.
+	SyncConditions int64
+	// Stalls counts worker waits that found the dependence not yet
+	// satisfied (i.e. the condition caused an actual pause).
+	Stalls int64
+	// AddrChecks counts shadow-memory lookups performed by the scheduler.
+	AddrChecks int64
+}
+
+// message kinds carried on the scheduler→worker queues.
+const (
+	kindDep int32 = iota // wait until latestFinished[Tid] >= Iter
+	kindRun              // execute (Inv, Index); then publish Iter as finished
+	kindEnd              // worker shutdown (the END_TOKEN of §3.3.2)
+)
+
+// cond is one queue message. For kindDep, Tid/Iter carry the dependence;
+// for kindRun, Iter is the combined iteration number and Inv/Index locate
+// the loop iteration to execute.
+type cond struct {
+	Kind  int32
+	Tid   int32
+	Iter  int64
+	Inv   int32
+	Index int32
+}
+
+// Run executes the workload under DOMORE with a dedicated scheduler thread
+// (the Fig 3.2(c) plan) and returns execution statistics.
+func Run(w Workload, opts Options) Stats {
+	opts.fill()
+	nw := opts.Workers
+
+	queues := make([]*queue.SPSC[cond], nw)
+	for i := range queues {
+		queues[i] = queue.NewSPSC[cond](opts.QueueCap)
+	}
+	latestFinished := make([]paddedInt64, nw)
+	for i := range latestFinished {
+		latestFinished[i].v.Store(-1)
+	}
+
+	var stats Stats
+	var wg sync.WaitGroup
+	for tid := 0; tid < nw; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			worker(w, tid, queues[tid], latestFinished, &stats)
+		}(tid)
+	}
+
+	scheduler(w, opts, queues, &stats)
+	wg.Wait()
+	return stats
+}
+
+// paddedInt64 keeps each worker's latestFinished slot on its own cache line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// scheduler is Algorithm 1 plus the outer-loop sequential regions: for every
+// iteration it computes the address set, assigns workers, detects conflicts
+// in shadow memory, and forwards conditions followed by the dispatch record.
+func scheduler(w Workload, opts Options, queues []*queue.SPSC[cond], stats *Stats) {
+	nw := opts.Workers
+	shadowMem := opts.Shadow
+	owner, multiOwner := opts.Policy.(*sched.LocalWrite)
+
+	// Per-target pending dependence conditions for the current iteration,
+	// deduplicated to the newest iteration per (target, depTid) pair.
+	pending := make([][]cond, nw)
+
+	iterNum := int64(0)
+	var buf []uint64
+	invocations := w.Invocations()
+	for inv := 0; inv < invocations; inv++ {
+		w.Sequential(inv)
+		iters := w.Iterations(inv)
+		for it := 0; it < iters; it++ {
+			buf = w.ComputeAddr(inv, it, buf[:0])
+			addrs := buf
+			tids := opts.Policy.Assign(iterNum, addrs, nw)
+			for _, t := range tids {
+				pending[t] = pending[t][:0]
+			}
+			for _, a := range addrs {
+				// The thread that will actually perform this access: the
+				// single assignee, or the address's owner under LOCALWRITE.
+				accessor := int32(tids[0])
+				if multiOwner && len(tids) > 1 {
+					accessor = int32(owner.Owner(a, nw))
+				}
+				stats.AddrChecks++
+				dep := shadowMem.Lookup(a)
+				if dep.Iter != shadow.None && dep.Tid != accessor {
+					pending[accessor] = addDep(pending[accessor], dep.Tid, dep.Iter)
+				}
+				shadowMem.Update(a, accessor, iterNum)
+			}
+			for _, t := range tids {
+				for _, d := range pending[t] {
+					queues[t].Produce(d)
+					stats.SyncConditions++
+				}
+				queues[t].Produce(cond{Kind: kindRun, Iter: iterNum, Inv: int32(inv), Index: int32(it)})
+				stats.Dispatches++
+			}
+			stats.Iterations++
+			iterNum++
+		}
+	}
+	for _, q := range queues {
+		q.Produce(cond{Kind: kindEnd})
+	}
+}
+
+// addDep appends a ⟨depTid, depIter⟩ condition, keeping only the newest
+// iteration per dependence source thread.
+func addDep(deps []cond, tid int32, iter int64) []cond {
+	for i := range deps {
+		if deps[i].Tid == tid {
+			if iter > deps[i].Iter {
+				deps[i].Iter = iter
+			}
+			return deps
+		}
+	}
+	return append(deps, cond{Kind: kindDep, Tid: tid, Iter: iter})
+}
+
+// worker is Algorithm 2: consume conditions, stall on unsatisfied
+// dependences, execute dispatched iterations, and publish completion.
+func worker(w Workload, tid int, q *queue.SPSC[cond], latestFinished []paddedInt64, stats *Stats) {
+	for {
+		c := q.Consume()
+		switch c.Kind {
+		case kindEnd:
+			return
+		case kindDep:
+			if latestFinished[c.Tid].v.Load() < c.Iter {
+				atomic.AddInt64(&stats.Stalls, 1)
+				for spins := 0; latestFinished[c.Tid].v.Load() < c.Iter; spins++ {
+					if spins > 16 {
+						runtime.Gosched()
+					}
+				}
+			}
+		case kindRun:
+			w.Execute(int(c.Inv), int(c.Index), tid)
+			latestFinished[tid].v.Store(c.Iter)
+		}
+	}
+}

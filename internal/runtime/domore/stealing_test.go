@@ -1,0 +1,105 @@
+package domore
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunStealingMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	w := newIrregular(rng, 20, 50, 64, 2)
+	want := w.sequentialRun()
+	stats := RunStealing(w, Options{Workers: 4})
+	for a := range want {
+		if w.data[a] != want[a] {
+			t.Fatalf("data[%d] = %d, want %d", a, w.data[a], want[a])
+		}
+	}
+	if stats.Iterations != 20*50 || stats.Dispatches != 20*50 {
+		t.Fatalf("iterations/dispatches = %d/%d", stats.Iterations, stats.Dispatches)
+	}
+	if stats.SyncConditions == 0 {
+		t.Fatal("expected dynamic dependences on a 64-cell space")
+	}
+}
+
+func TestRunStealingNoConflicts(t *testing.T) {
+	w := &irregular{data: make([]int64, 1000)}
+	for inv := 0; inv < 5; inv++ {
+		iters := make([][]uint64, 10)
+		for it := range iters {
+			iters[it] = []uint64{uint64(inv*10 + it)}
+		}
+		w.idx = append(w.idx, iters)
+		for range iters {
+			w.seqs = append(w.seqs, int64(len(w.seqs)+1))
+		}
+	}
+	want := w.sequentialRun()
+	stats := RunStealing(w, Options{Workers: 3})
+	if stats.SyncConditions != 0 || stats.Stalls != 0 {
+		t.Fatalf("conditions/stalls = %d/%d, want 0/0", stats.SyncConditions, stats.Stalls)
+	}
+	for a := range want {
+		if w.data[a] != want[a] {
+			t.Fatalf("data[%d] = %d, want %d", a, w.data[a], want[a])
+		}
+	}
+}
+
+// skewed is an independent workload where one iteration per invocation is
+// much slower than the rest — the load-imbalance case work stealing exists
+// for. With round-robin the straggler's thread also serializes the
+// iterations dealt behind it; with stealing the other workers drain them.
+type skewed struct {
+	invs, iters int
+	slowEvery   int
+	hits        []atomic.Int32
+}
+
+func (s *skewed) Invocations() int       { return s.invs }
+func (s *skewed) Iterations(inv int) int { return s.iters }
+func (s *skewed) Sequential(inv int)     {}
+func (s *skewed) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
+	return append(buf, uint64(inv*s.iters+iter))
+}
+
+func (s *skewed) Execute(inv, iter, tid int) {
+	if iter%s.slowEvery == 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	s.hits[inv*s.iters+iter].Add(1)
+}
+
+func TestRunStealingExecutesEachIterationOnce(t *testing.T) {
+	s := &skewed{invs: 8, iters: 24, slowEvery: 7}
+	s.hits = make([]atomic.Int32, s.invs*s.iters)
+	RunStealing(s, Options{Workers: 4})
+	for i := range s.hits {
+		if got := s.hits[i].Load(); got != 1 {
+			t.Fatalf("iteration %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestQuickStealingEquivalence(t *testing.T) {
+	prop := func(seed int64, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := int(workers%4) + 1
+		w := newIrregular(rng, 8, 25, 24, 2)
+		want := w.sequentialRun()
+		RunStealing(w, Options{Workers: nw})
+		for a := range want {
+			if w.data[a] != want[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package queue provides the single-producer single-consumer lock-free ring
+// buffer used to forward synchronization conditions from the DOMORE scheduler
+// to its workers and checking requests from SPECCROSS workers to the checker.
+//
+// The design follows the lock-free queue the paper builds on (§3.2.3): one
+// cache-line-padded head index owned by the consumer, one tail index owned by
+// the producer, and a power-of-two ring so index masking is a single AND.
+// Produce and Consume spin (with cooperative yielding) when the ring is full
+// or empty; TryProduce and TryConsume never block.
+package queue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed cache-line size used for padding between the
+// producer-owned and consumer-owned fields so they never share a line.
+const cacheLine = 64
+
+// SPSC is a bounded lock-free queue safe for exactly one producer goroutine
+// and one consumer goroutine. The zero value is not usable; construct with
+// NewSPSC.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [cacheLine]byte
+	head atomic.Uint64 // next slot to consume; owned by the consumer
+	_    [cacheLine]byte
+	tail atomic.Uint64 // next slot to fill; owned by the producer
+	_    [cacheLine]byte
+
+	// cachedHead and cachedTail let each side avoid re-reading the other
+	// side's index on every operation (the classic SPSC optimization).
+	cachedHead uint64 // producer's last observed head
+	cachedTail uint64 // consumer's last observed tail
+}
+
+// NewSPSC returns an SPSC queue with capacity rounded up to the next power of
+// two. Capacity must be positive.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: invalid capacity %d", capacity))
+	}
+	n := uint64(1)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap reports the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of buffered elements. It is a snapshot and may be
+// stale by the time the caller uses it.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryProduce appends v if there is room and reports whether it did.
+// It must only be called from the producer goroutine.
+func (q *SPSC[T]) TryProduce(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.cachedHead >= uint64(len(q.buf)) {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead >= uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Produce appends v, spinning until space is available.
+// It must only be called from the producer goroutine.
+func (q *SPSC[T]) Produce(v T) {
+	for spins := 0; !q.TryProduce(v); spins++ {
+		backoff(spins)
+	}
+}
+
+// TryConsume removes and returns the oldest element if one is buffered.
+// It must only be called from the consumer goroutine.
+func (q *SPSC[T]) TryConsume() (T, bool) {
+	head := q.head.Load()
+	if head >= q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if head >= q.cachedTail {
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[head&q.mask]
+	var zero T
+	q.buf[head&q.mask] = zero // release references for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Consume removes and returns the oldest element, spinning until one arrives.
+// It must only be called from the consumer goroutine.
+func (q *SPSC[T]) Consume() T {
+	for spins := 0; ; spins++ {
+		if v, ok := q.TryConsume(); ok {
+			return v
+		}
+		backoff(spins)
+	}
+}
+
+// backoff yields the processor with increasing politeness: busy-spin briefly,
+// then hand the scheduler a chance to run the peer goroutine. On a machine
+// with fewer cores than runnable goroutines (including the single-core case)
+// the Gosched path is what makes progress.
+func backoff(spins int) {
+	if spins < 16 {
+		return
+	}
+	runtime.Gosched()
+}

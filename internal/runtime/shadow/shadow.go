@@ -1,0 +1,117 @@
+// Package shadow implements the shadow memory the DOMORE scheduler uses to
+// detect dynamic dependences at runtime (§3.2.1). Each shadow entry records
+// which worker thread last touched the corresponding memory location and in
+// which (combined, cross-invocation) iteration, as the tuple ⟨tid, iterNum⟩.
+//
+// Two stores are provided: Dense, an array indexed directly by address, for
+// workloads whose address space is a compact range of array indices; and
+// Sparse, a map-backed store for workloads with large or scattered address
+// spaces. Both are single-writer structures: only the scheduler thread (or,
+// in the duplicated-scheduler variant of §3.4, one private instance per
+// worker) mutates them, so no internal locking is needed.
+package shadow
+
+// None is the iteration number stored in an empty entry; the paper writes it
+// as ⊥ and tests depIterNum != -1 in Algorithm 1.
+const None int64 = -1
+
+// Entry is one shadow-memory cell: the last accessor of an address.
+type Entry struct {
+	Tid  int32 // worker thread that last accessed the address
+	Iter int64 // combined iteration number of that access, or None
+}
+
+// empty is the value of an untouched cell.
+var empty = Entry{Tid: -1, Iter: None}
+
+// Store is the shadow-memory abstraction shared by the dense and sparse
+// implementations.
+type Store interface {
+	// Lookup returns the last recorded accessor of addr, or an entry with
+	// Iter == None if the address has not been touched.
+	Lookup(addr uint64) Entry
+	// Update records that worker tid accessed addr during iteration iter.
+	Update(addr uint64, tid int32, iter int64)
+	// Reset clears every entry. It is used between outer-region executions.
+	Reset()
+	// Len reports how many addresses currently have a recorded accessor.
+	Len() int
+}
+
+// Dense is a Store backed by a flat slice; address a maps to cell a. Lookups
+// and updates are O(1) with no hashing, which is what makes the scheduler
+// cheap enough to keep up with workers (Table 5.2 measures the ratio).
+type Dense struct {
+	cells []Entry
+	used  int
+}
+
+// NewDense returns a dense store covering addresses [0, size).
+func NewDense(size int) *Dense {
+	d := &Dense{cells: make([]Entry, size)}
+	d.Reset()
+	return d
+}
+
+// Lookup implements Store. Addresses outside the configured range are
+// reported as untouched; the caller's performance guard is expected to size
+// the store from the workload's address bound.
+func (d *Dense) Lookup(addr uint64) Entry {
+	if addr >= uint64(len(d.cells)) {
+		return empty
+	}
+	return d.cells[addr]
+}
+
+// Update implements Store.
+func (d *Dense) Update(addr uint64, tid int32, iter int64) {
+	if addr >= uint64(len(d.cells)) {
+		return
+	}
+	if d.cells[addr].Iter == None {
+		d.used++
+	}
+	d.cells[addr] = Entry{Tid: tid, Iter: iter}
+}
+
+// Reset implements Store.
+func (d *Dense) Reset() {
+	for i := range d.cells {
+		d.cells[i] = empty
+	}
+	d.used = 0
+}
+
+// Len implements Store.
+func (d *Dense) Len() int { return d.used }
+
+// Sparse is a Store backed by a map, for address spaces too large or too
+// scattered to shadow densely (the space/time trade-off §3.2.1 discusses;
+// the paper notes a signature scheme could substitute here too).
+type Sparse struct {
+	cells map[uint64]Entry
+}
+
+// NewSparse returns an empty sparse store.
+func NewSparse() *Sparse {
+	return &Sparse{cells: make(map[uint64]Entry)}
+}
+
+// Lookup implements Store.
+func (s *Sparse) Lookup(addr uint64) Entry {
+	if e, ok := s.cells[addr]; ok {
+		return e
+	}
+	return empty
+}
+
+// Update implements Store.
+func (s *Sparse) Update(addr uint64, tid int32, iter int64) {
+	s.cells[addr] = Entry{Tid: tid, Iter: iter}
+}
+
+// Reset implements Store.
+func (s *Sparse) Reset() { clear(s.cells) }
+
+// Len implements Store.
+func (s *Sparse) Len() int { return len(s.cells) }

@@ -1,0 +1,300 @@
+// Package signature implements the memory-access signatures SPECCROSS uses
+// for misspeculation detection (§4.2.1). A signature is an approximate,
+// constant-space summary of the addresses a task touched; two tasks from
+// different epochs conflict if their signatures indicate a write/write,
+// write/read, or read/write overlap.
+//
+// Two summary schemes are provided, matching the paper:
+//
+//   - Range: the default scheme, recording only the minimum and maximum
+//     address accessed. Cheap and effective when accesses are clustered.
+//   - Bloom: a Bloom filter over addresses, with a configurable bit width.
+//     Better false-positive behaviour for random access patterns.
+//
+// Both schemes are sound: they may report a conflict where none exists
+// (false positive, causing a needless misspeculation) but never miss a true
+// overlap.
+package signature
+
+import "fmt"
+
+// Kind selects a summary scheme.
+type Kind int
+
+const (
+	// Range records [min,max] address bounds (the paper's default).
+	Range Kind = iota
+	// Bloom records a Bloom filter of addresses.
+	Bloom
+	// Exact records the precise address set. It is never wrong but costs
+	// memory proportional to the task's footprint; §4.2.3 notes the
+	// runtime accepts user-provided signature generators, and exact sets
+	// are the right generator for tasks whose read sets saturate a Bloom
+	// filter (FLUIDANIMATE's grid rebuild reads every cell's bucket
+	// header). The profiler (§4.4) also uses it so that minimum
+	// dependence distances are not contaminated by false positives.
+	Exact
+)
+
+// String returns the scheme name.
+func (k Kind) String() string {
+	switch k {
+	case Range:
+		return "range"
+	case Bloom:
+		return "bloom"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Set summarizes a set of addresses. Implementations must be sound: if an
+// address was Added to both of two sets, Intersects must report true.
+type Set interface {
+	// Add records one address.
+	Add(addr uint64)
+	// Intersects reports whether the two summaries may share an address.
+	// The argument must be of the same dynamic type as the receiver.
+	Intersects(other Set) bool
+	// Empty reports whether no address has been recorded.
+	Empty() bool
+	// Reset returns the set to empty for reuse.
+	Reset()
+}
+
+// NewSet returns an empty Set of the given kind.
+func NewSet(k Kind) Set {
+	switch k {
+	case Range:
+		return &RangeSet{}
+	case Bloom:
+		return NewBloomSet(DefaultBloomBits)
+	case Exact:
+		return NewExactSet()
+	default:
+		panic(fmt.Sprintf("signature: unknown kind %d", int(k)))
+	}
+}
+
+// RangeSet summarizes addresses by their inclusive [Min,Max] envelope.
+type RangeSet struct {
+	min, max uint64
+	nonEmpty bool
+}
+
+// Add implements Set.
+func (r *RangeSet) Add(addr uint64) {
+	if !r.nonEmpty {
+		r.min, r.max, r.nonEmpty = addr, addr, true
+		return
+	}
+	if addr < r.min {
+		r.min = addr
+	}
+	if addr > r.max {
+		r.max = addr
+	}
+}
+
+// Intersects implements Set.
+func (r *RangeSet) Intersects(other Set) bool {
+	o, ok := other.(*RangeSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
+	}
+	if !r.nonEmpty || !o.nonEmpty {
+		return false
+	}
+	return r.min <= o.max && o.min <= r.max
+}
+
+// Empty implements Set.
+func (r *RangeSet) Empty() bool { return !r.nonEmpty }
+
+// Reset implements Set.
+func (r *RangeSet) Reset() { *r = RangeSet{} }
+
+// Bounds returns the recorded envelope; ok is false if the set is empty.
+func (r *RangeSet) Bounds() (min, max uint64, ok bool) {
+	return r.min, r.max, r.nonEmpty
+}
+
+// DefaultBloomBits is the default Bloom filter width in bits. 2048 bits
+// (four cache lines) holds the intersection-test false-positive rate low
+// for the task sizes in Table 5.3 (tens of accesses per task); the
+// intersection test needs much sparser filters than membership queries do.
+const DefaultBloomBits = 2048
+
+// bloomHashes is the number of hash functions (k) per address.
+const bloomHashes = 3
+
+// BloomSet summarizes addresses with a Bloom filter.
+type BloomSet struct {
+	bits  []uint64
+	nbits uint64
+	n     int // addresses added
+}
+
+// NewBloomSet returns a Bloom summary with the given width in bits, rounded
+// up to a multiple of 64.
+func NewBloomSet(bits int) *BloomSet {
+	if bits <= 0 {
+		panic(fmt.Sprintf("signature: invalid bloom width %d", bits))
+	}
+	words := (bits + 63) / 64
+	return &BloomSet{bits: make([]uint64, words), nbits: uint64(words * 64)}
+}
+
+// hash mixes addr with a per-probe seed (splitmix64 finalizer).
+func bloomHash(addr, seed uint64) uint64 {
+	x := addr + seed*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add implements Set.
+func (b *BloomSet) Add(addr uint64) {
+	for i := uint64(1); i <= bloomHashes; i++ {
+		bit := bloomHash(addr, i) % b.nbits
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+	b.n++
+}
+
+// Intersects implements Set.
+//
+// Two Bloom filters may share an element only if, for at least one probe
+// index family, overlapping bits exist; testing the AND of the bit vectors
+// is the standard sound approximation.
+func (b *BloomSet) Intersects(other Set) bool {
+	o, ok := other.(*BloomSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
+	}
+	if b.nbits != o.nbits {
+		panic("signature: mismatched bloom widths")
+	}
+	if b.n == 0 || o.n == 0 {
+		return false
+	}
+	// Count overlapping bits; require at least bloomHashes common bits,
+	// since a shared element sets the same k positions in both filters.
+	common := 0
+	for i, w := range b.bits {
+		if x := w & o.bits[i]; x != 0 {
+			common += popcount(x)
+			if common >= bloomHashes {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Empty implements Set.
+func (b *BloomSet) Empty() bool { return b.n == 0 }
+
+// Reset implements Set.
+func (b *BloomSet) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.n = 0
+}
+
+// Signature is the per-task access summary: separate read and write sets so
+// the checker can distinguish flow/anti/output conflicts from harmless
+// read/read sharing.
+type Signature struct {
+	Reads  Set
+	Writes Set
+}
+
+// New returns an empty Signature using the given scheme for both sets.
+func New(k Kind) *Signature {
+	return &Signature{Reads: NewSet(k), Writes: NewSet(k)}
+}
+
+// Read records a load of addr.
+func (s *Signature) Read(addr uint64) { s.Reads.Add(addr) }
+
+// Write records a store to addr.
+func (s *Signature) Write(addr uint64) { s.Writes.Add(addr) }
+
+// Reset empties both sets for reuse.
+func (s *Signature) Reset() {
+	s.Reads.Reset()
+	s.Writes.Reset()
+}
+
+// Empty reports whether the task recorded no accesses at all.
+func (s *Signature) Empty() bool { return s.Reads.Empty() && s.Writes.Empty() }
+
+// Conflicts reports whether executing the receiver's task and other's task
+// on opposite sides of a (removed) barrier could have violated a dependence:
+// any write/write, write/read, or read/write overlap.
+func (s *Signature) Conflicts(other *Signature) bool {
+	if s.Writes.Intersects(other.Writes) {
+		return true
+	}
+	if s.Writes.Intersects(other.Reads) {
+		return true
+	}
+	if s.Reads.Intersects(other.Writes) {
+		return true
+	}
+	return false
+}
+
+// ExactSet records the precise address set; Intersects is never a false
+// positive (nor a false negative).
+type ExactSet struct {
+	addrs map[uint64]struct{}
+}
+
+// NewExactSet returns an empty exact summary.
+func NewExactSet() *ExactSet {
+	return &ExactSet{addrs: make(map[uint64]struct{})}
+}
+
+// Add implements Set.
+func (e *ExactSet) Add(addr uint64) { e.addrs[addr] = struct{}{} }
+
+// Intersects implements Set.
+func (e *ExactSet) Intersects(other Set) bool {
+	o, ok := other.(*ExactSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
+	}
+	small, large := e.addrs, o.addrs
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for a := range small {
+		if _, hit := large[a]; hit {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty implements Set.
+func (e *ExactSet) Empty() bool { return len(e.addrs) == 0 }
+
+// Reset implements Set.
+func (e *ExactSet) Reset() { clear(e.addrs) }

@@ -1,0 +1,256 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var kinds = []Kind{Range, Bloom}
+
+func TestKindString(t *testing.T) {
+	if Range.String() != "range" || Bloom.String() != "bloom" {
+		t.Fatalf("kind names wrong: %q %q", Range, Bloom)
+	}
+}
+
+func TestEmptySetsNeverIntersect(t *testing.T) {
+	for _, k := range kinds {
+		a, b := NewSet(k), NewSet(k)
+		if a.Intersects(b) {
+			t.Errorf("%v: empty sets intersect", k)
+		}
+		a.Add(1)
+		if a.Intersects(b) || b.Intersects(a) {
+			t.Errorf("%v: empty vs non-empty intersect", k)
+		}
+	}
+}
+
+func TestSharedAddressDetected(t *testing.T) {
+	for _, k := range kinds {
+		a, b := NewSet(k), NewSet(k)
+		a.Add(42)
+		b.Add(42)
+		if !a.Intersects(b) {
+			t.Errorf("%v: shared address 42 not detected", k)
+		}
+	}
+}
+
+func TestRangeDisjointNotDetected(t *testing.T) {
+	a, b := NewSet(Range), NewSet(Range)
+	a.Add(10)
+	a.Add(20)
+	b.Add(30)
+	b.Add(40)
+	if a.Intersects(b) {
+		t.Fatal("disjoint ranges [10,20] and [30,40] reported intersecting")
+	}
+	b.Add(15) // now [15,40] overlaps [10,20]
+	if !a.Intersects(b) {
+		t.Fatal("overlapping ranges not detected")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := &RangeSet{}
+	if _, _, ok := r.Bounds(); ok {
+		t.Fatal("empty RangeSet reported bounds")
+	}
+	r.Add(7)
+	r.Add(3)
+	r.Add(5)
+	min, max, ok := r.Bounds()
+	if !ok || min != 3 || max != 7 {
+		t.Fatalf("Bounds = (%d,%d,%v), want (3,7,true)", min, max, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, k := range kinds {
+		a := NewSet(k)
+		a.Add(1)
+		a.Add(999)
+		a.Reset()
+		if !a.Empty() {
+			t.Errorf("%v: not empty after Reset", k)
+		}
+		b := NewSet(k)
+		b.Add(1)
+		if a.Intersects(b) {
+			t.Errorf("%v: reset set still intersects", k)
+		}
+	}
+}
+
+func TestMixedKindsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing Range and Bloom did not panic")
+		}
+	}()
+	NewSet(Range).Intersects(NewSet(Bloom))
+}
+
+// Soundness property: if the same address is added to two sets, Intersects
+// must be true, for both schemes. (False positives are allowed; false
+// negatives are not — they would corrupt speculative execution.)
+func TestQuickSoundness(t *testing.T) {
+	for _, k := range kinds {
+		k := k
+		prop := func(as, bs []uint32, shared uint32) bool {
+			a, b := NewSet(k), NewSet(k)
+			for _, x := range as {
+				a.Add(uint64(x))
+			}
+			for _, x := range bs {
+				b.Add(uint64(x))
+			}
+			a.Add(uint64(shared))
+			b.Add(uint64(shared))
+			return a.Intersects(b) && b.Intersects(a)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+// Symmetry property: Intersects is commutative.
+func TestQuickSymmetry(t *testing.T) {
+	for _, k := range kinds {
+		k := k
+		prop := func(as, bs []uint16) bool {
+			a, b := NewSet(k), NewSet(k)
+			for _, x := range as {
+				a.Add(uint64(x))
+			}
+			for _, x := range bs {
+				b.Add(uint64(x))
+			}
+			return a.Intersects(b) == b.Intersects(a)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRateBetterThanRangeOnScattered(t *testing.T) {
+	// The paper motivates Bloom signatures for random access patterns
+	// (§4.2.1). With two tasks touching interleaved but disjoint scattered
+	// addresses, a range signature always conflicts while a Bloom signature
+	// mostly should not.
+	rng := rand.New(rand.NewSource(1))
+	const trials = 200
+	rangeFP, bloomFP := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		ra, rb := NewSet(Range), NewSet(Range)
+		ba, bb := NewBloomSet(DefaultBloomBits), NewBloomSet(DefaultBloomBits)
+		for i := 0; i < 16; i++ {
+			// Even addresses to task A, odd to task B: disjoint, interleaved.
+			a := uint64(rng.Intn(1<<20)) * 2
+			b := uint64(rng.Intn(1<<20))*2 + 1
+			ra.Add(a)
+			ba.Add(a)
+			rb.Add(b)
+			bb.Add(b)
+		}
+		if ra.Intersects(rb) {
+			rangeFP++
+		}
+		if ba.Intersects(bb) {
+			bloomFP++
+		}
+	}
+	if rangeFP < trials*9/10 {
+		t.Fatalf("range FP = %d/%d; expected interleaved envelopes to almost always overlap", rangeFP, trials)
+	}
+	if bloomFP >= rangeFP {
+		t.Fatalf("bloom FP (%d) should be below range FP (%d) on scattered accesses", bloomFP, rangeFP)
+	}
+}
+
+func TestSignatureConflicts(t *testing.T) {
+	mk := func(reads, writes []uint64) *Signature {
+		s := New(Range)
+		for _, a := range reads {
+			s.Read(a)
+		}
+		for _, a := range writes {
+			s.Write(a)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		a, b *Signature
+		want bool
+	}{
+		{"read-read only", mk([]uint64{1, 2}, nil), mk([]uint64{1, 2}, nil), false},
+		{"write-write", mk(nil, []uint64{5}), mk(nil, []uint64{5}), true},
+		{"write-read (flow)", mk(nil, []uint64{5}), mk([]uint64{5}, nil), true},
+		{"read-write (anti)", mk([]uint64{5}, nil), mk(nil, []uint64{5}), true},
+		{"disjoint", mk([]uint64{1}, []uint64{2}), mk([]uint64{10}, []uint64{20}), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Conflicts(c.b); got != c.want {
+			t.Errorf("%s: Conflicts = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSignatureResetAndEmpty(t *testing.T) {
+	s := New(Bloom)
+	if !s.Empty() {
+		t.Fatal("fresh signature not empty")
+	}
+	s.Read(1)
+	s.Write(2)
+	if s.Empty() {
+		t.Fatal("populated signature reported empty")
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Fatal("signature not empty after Reset")
+	}
+}
+
+func BenchmarkRangeAdd(b *testing.B) {
+	s := NewSet(Range)
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkBloomAdd(b *testing.B) {
+	s := NewBloomSet(DefaultBloomBits)
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}
+
+func BenchmarkRangeIntersect(b *testing.B) {
+	x, y := NewSet(Range), NewSet(Range)
+	for i := 0; i < 64; i++ {
+		x.Add(uint64(i))
+		y.Add(uint64(i + 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersects(y)
+	}
+}
+
+func BenchmarkBloomIntersect(b *testing.B) {
+	x, y := NewBloomSet(DefaultBloomBits), NewBloomSet(DefaultBloomBits)
+	for i := 0; i < 64; i++ {
+		x.Add(uint64(i))
+		y.Add(uint64(i + 1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersects(y)
+	}
+}

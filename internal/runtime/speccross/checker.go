@@ -1,0 +1,172 @@
+package speccross
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crossinv/internal/runtime/queue"
+)
+
+// checker is the violation-detection state (§4.2.1, Fig 4.7). One or more
+// checker threads (Config.CheckerShards; the paper uses one and names
+// parallelizing it as future work, §5.2) drain the per-worker request
+// queues and compare each arriving task's signature against logged
+// signatures of tasks from *different* epochs that overlapped it in time.
+// Same-epoch signatures are never compared — the epochs are independently
+// parallelized loops, which is the saving over TM-style speculation
+// (Fig 4.4).
+//
+// Overlap pairing is bidirectional. For an arriving task r:
+//
+//   - r is the later-epoch side against any logged task s of another thread
+//     with s.epoch < r.epoch and s at-or-after the watermark r recorded for
+//     s's thread when r began ("epochs earlier than the signature's epoch,
+//     but at least as recent as the epoch-task pair recorded when the task
+//     began", §4.2.1);
+//   - r is the earlier-epoch side against any logged later-epoch task s
+//     whose own watermark for r's thread was at-or-before r's position —
+//     meaning r had not finished when s began, so they overlapped.
+//
+// Each shard logs the entry (write lock) *before* comparing (read lock), so
+// for any overlapping pair processed concurrently by different shards, the
+// later-logged side observes the earlier one: every cross-epoch overlapping
+// pair is checked at least once.
+type checker struct {
+	workers int
+	start   int // first epoch of the segment
+
+	mu sync.RWMutex
+	// log[tid][e-start] holds the entries logged for worker tid in epoch e
+	// (the signature-log rows of Fig 4.8).
+	log [][][]taskEntry
+	// maxEpoch[tid] is the highest epoch index (relative) logged per worker.
+	maxEpoch []int
+}
+
+func newChecker(workers, start, end int) *checker {
+	c := &checker{
+		workers:  workers,
+		start:    start,
+		log:      make([][][]taskEntry, workers),
+		maxEpoch: make([]int, workers),
+	}
+	for i := range c.log {
+		c.log[i] = make([][]taskEntry, end-start)
+		c.maxEpoch[i] = -1
+	}
+	return c
+}
+
+// run consumes requests from the given queue subset until each has sent its
+// end token. It flags misspeculation on the shared state when a conflict is
+// found and keeps draining so no worker blocks on a full queue during
+// shutdown.
+func (c *checker) run(queues []*queue.SPSC[request], st *specState, stats *Stats) {
+	finished := make([]bool, len(queues))
+	remaining := len(queues)
+	for remaining > 0 {
+		progress := false
+		for qi, q := range queues {
+			if finished[qi] {
+				continue
+			}
+			req, ok := q.TryConsume()
+			if !ok {
+				continue
+			}
+			progress = true
+			if req.end {
+				finished[qi] = true
+				remaining--
+				continue
+			}
+			c.process(req.entry, st, stats)
+		}
+		if !progress {
+			// Nothing buffered on any queue: let the workers run. The
+			// checker's latency only delays detection, never progress.
+			runtime.Gosched()
+		}
+	}
+}
+
+// process logs the entry and performs both comparison directions.
+func (c *checker) process(e taskEntry, st *specState, stats *Stats) {
+	epoch, _ := unpackET(e.pos)
+	rel := int(epoch) - c.start
+
+	// Empty signatures cannot conflict with anything; skip both the log and
+	// the comparisons (the "guaranteed independent" skip of §4.1.3).
+	if e.sig.Empty() {
+		return
+	}
+
+	// Log first (see the type comment for why ordering matters with
+	// sharded checkers).
+	c.mu.Lock()
+	c.log[e.tid][rel] = append(c.log[e.tid][rel], e)
+	if rel > c.maxEpoch[e.tid] {
+		c.maxEpoch[e.tid] = rel
+	}
+	c.mu.Unlock()
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	windowNonEmpty := false
+
+	// Direction 1: e is the later-epoch side.
+	for o := 0; o < c.workers; o++ {
+		if o == int(e.tid) {
+			continue
+		}
+		wmEpoch, _ := unpackET(e.wm[o])
+		if int(wmEpoch) < int(epoch) {
+			windowNonEmpty = true
+		}
+		lo := int(wmEpoch) - c.start
+		if lo < 0 {
+			lo = 0
+		}
+		for re := lo; re < rel && re <= c.maxEpoch[o]; re++ {
+			for i := range c.log[o][re] {
+				s := &c.log[o][re][i]
+				if s.pos < e.wm[o] {
+					continue // finished before e began: ordered, no overlap
+				}
+				atomic.AddInt64(&stats.Comparisons, 1)
+				if e.sig.Conflicts(s.sig) {
+					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
+					return
+				}
+			}
+		}
+	}
+
+	// Direction 2: e is the earlier-epoch side of already-logged tasks from
+	// later epochs that began before e finished.
+	for o := 0; o < c.workers; o++ {
+		if o == int(e.tid) {
+			continue
+		}
+		for re := rel + 1; re <= c.maxEpoch[o]; re++ {
+			for i := range c.log[o][re] {
+				s := &c.log[o][re][i]
+				if s.wm[e.tid] > e.pos {
+					continue // s began after e finished: ordered
+				}
+				windowNonEmpty = true
+				atomic.AddInt64(&stats.Comparisons, 1)
+				if e.sig.Conflicts(s.sig) {
+					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
+					return
+				}
+			}
+		}
+	}
+
+	if windowNonEmpty {
+		atomic.AddInt64(&stats.CheckRequests, 1)
+	}
+}

@@ -1,0 +1,310 @@
+package speccross
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossinv/internal/runtime/barrier"
+	"crossinv/internal/runtime/queue"
+	"crossinv/internal/runtime/signature"
+)
+
+// Run executes the workload under SPECCROSS and returns runtime statistics.
+//
+// Execution proceeds in segments of Config.CheckpointEvery epochs. Each
+// segment begins from a checkpoint; its epochs run speculatively (no
+// barriers). If the checker detects a violation — or a worker panics, or an
+// injected fault or timeout fires — the whole segment is rolled back to its
+// checkpoint and re-executed with non-speculative barriers, the recovery
+// semantics of §4.2.2 (the paper re-executes the misspeculated prefix; we
+// conservatively re-execute the segment, which preserves the checkpoint-
+// frequency/re-execution trade-off Fig 5.3 studies). Epochs flagged
+// irreversible are likewise executed non-speculatively between two full
+// synchronizations.
+func Run(w Workload, cfg Config) Stats {
+	cfg.fill()
+	var stats Stats
+
+	irr, hasIrr := w.(Irreversibler)
+	epochs := w.Epochs()
+	snapshot := w.Snapshot()
+
+	for start := 0; start < epochs; {
+		// An irreversible epoch forms its own non-speculative segment.
+		if hasIrr && irr.Irreversible(start) {
+			runBarriers(w, cfg.Workers, start, start+1)
+			snapshot = w.Snapshot()
+			stats.Checkpoints++
+			start++
+			continue
+		}
+		end := start + cfg.CheckpointEvery
+		if end > epochs {
+			end = epochs
+		}
+		if hasIrr {
+			for e := start + 1; e < end; e++ {
+				if irr.Irreversible(e) {
+					end = e
+					break
+				}
+			}
+		}
+
+		if runSpeculative(w, &cfg, start, end, &stats) {
+			snapshot = w.Snapshot()
+			stats.Checkpoints++
+			stats.Epochs += int64(end - start)
+		} else {
+			stats.Misspeculations++
+			w.Restore(snapshot)
+			runBarriers(w, cfg.Workers, start, end)
+			stats.ReexecutedEpochs += int64(end - start)
+			snapshot = w.Snapshot()
+			stats.Checkpoints++
+		}
+		start = end
+	}
+	_ = snapshot
+	return stats
+}
+
+// RunBarriers executes the workload with the baseline plan: every epoch's
+// tasks are split across workers and a non-speculative barrier separates
+// epochs (Fig 4.2(c)). It returns the barrier so callers can read idle-time
+// statistics (Fig 4.3).
+func RunBarriers(w Workload, workers int) *barrier.Barrier {
+	if workers <= 0 {
+		panic(fmt.Sprintf("speccross: invalid worker count %d", workers))
+	}
+	return runBarriers(w, workers, 0, w.Epochs())
+}
+
+func runBarriers(w Workload, workers, start, end int) *barrier.Barrier {
+	bar := barrier.New(workers)
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for e := start; e < end; e++ {
+				n := w.Tasks(e)
+				for t := tid; t < n; t += workers {
+					w.Run(e, t, tid, nil)
+				}
+				bar.Wait()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	return bar
+}
+
+// taskEntry is one logged task execution: its signature plus the watermark
+// vector (other threads' positions when the task began), which the checker
+// needs to pair overlapping tasks in both directions.
+type taskEntry struct {
+	tid int32
+	pos uint64   // packed (epoch, task)
+	wm  []uint64 // packed watermark per worker (own slot unused)
+	sig *signature.Signature
+}
+
+// request is one message on a worker→checker queue.
+type request struct {
+	entry taskEntry
+	end   bool
+}
+
+// specState is the shared state of one speculative segment.
+type specState struct {
+	cfg   *Config
+	start int32 // first epoch of the segment
+	// pos[tid] is the packed (epoch, task) each worker most recently began.
+	pos []paddedU64
+	// done[tid] counts globally-numbered completed tasks, for range gating.
+	done []paddedI64
+	// prefix[e-start] is the global task number of the first task of epoch e.
+	prefix []int64
+	// misspec is set (with a reason) when the segment must be abandoned.
+	misspec atomic.Int32
+}
+
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type paddedI64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// misspeculation reasons.
+const (
+	misspecNone int32 = iota
+	misspecConflict
+	misspecPanic
+	misspecInjected
+	misspecTimeout
+)
+
+// runSpeculative executes epochs [start, end) without barriers and reports
+// whether the segment committed cleanly.
+func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok bool) {
+	nw := cfg.Workers
+	st := &specState{cfg: cfg, start: int32(start)}
+	st.pos = make([]paddedU64, nw)
+	st.done = make([]paddedI64, nw)
+	st.prefix = make([]int64, end-start+1)
+	for e := start; e < end; e++ {
+		st.prefix[e-start+1] = st.prefix[e-start] + int64(w.Tasks(e))
+	}
+	for i := 0; i < nw; i++ {
+		st.pos[i].v.Store(packET(int32(start), 0))
+		st.done[i].v.Store(-1)
+	}
+
+	queues := make([]*queue.SPSC[request], nw)
+	for i := range queues {
+		queues[i] = queue.NewSPSC[request](cfg.QueueCap)
+	}
+
+	var timer *time.Timer
+	if cfg.SpecTimeout > 0 {
+		timer = time.AfterFunc(cfg.SpecTimeout, func() {
+			st.misspec.CompareAndSwap(misspecNone, misspecTimeout)
+		})
+		defer timer.Stop()
+	}
+
+	// Spawn the checker shard(s): each drains its queue subset against the
+	// shared log (CheckerShards = 1 is the paper's single checker thread).
+	chk := newChecker(nw, start, end)
+	var checkers sync.WaitGroup
+	for sh := 0; sh < cfg.CheckerShards; sh++ {
+		var subset []*queue.SPSC[request]
+		for qi := sh; qi < nw; qi += cfg.CheckerShards {
+			subset = append(subset, queues[qi])
+		}
+		checkers.Add(1)
+		go func(subset []*queue.SPSC[request]) {
+			defer checkers.Done()
+			chk.run(subset, st, stats)
+		}(subset)
+	}
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < nw; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			specWorker(w, st, tid, start, end, queues[tid], stats)
+		}(tid)
+	}
+	wg.Wait()
+	checkers.Wait()
+
+	return st.misspec.Load() == misspecNone
+}
+
+// specWorker executes this thread's share of every epoch in the segment,
+// publishing positions, signatures and checking requests (the worker loop of
+// Fig 4.7).
+func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[request], stats *Stats) {
+	nw := st.cfg.Workers
+	defer func() {
+		if r := recover(); r != nil {
+			// A fault during speculative execution (the segfault trigger of
+			// §4.2.2): flag misspeculation and shut down this worker.
+			st.misspec.CompareAndSwap(misspecNone, misspecPanic)
+			q.Produce(request{end: true})
+		}
+	}()
+
+	for e := start; e < end; e++ {
+		n := w.Tasks(e)
+		for t := tid; t < n; t += nw {
+			if st.misspec.Load() != misspecNone {
+				q.Produce(request{end: true})
+				return
+			}
+			global := st.prefix[e-start] + int64(t)
+			dist := st.cfg.SpecDistance
+			if st.cfg.SpecDistanceOf != nil {
+				dist = st.cfg.SpecDistanceOf(e)
+			}
+			if stallOnRange(st, tid, global, dist, stats) {
+				q.Produce(request{end: true})
+				return
+			}
+
+			// Publish position, then read the other threads' positions:
+			// the watermark vector for this task (Fig 4.6).
+			st.pos[tid].v.Store(packET(int32(e), int32(t)))
+			wm := make([]uint64, nw)
+			for o := 0; o < nw; o++ {
+				if o != tid {
+					wm[o] = st.pos[o].v.Load()
+				}
+			}
+
+			sig := signature.New(st.cfg.SigKind)
+			w.Run(e, t, tid, sig)
+			st.done[tid].v.Store(global)
+			atomic.AddInt64(&stats.Tasks, 1)
+
+			q.Produce(request{entry: taskEntry{
+				tid: int32(tid), pos: packET(int32(e), int32(t)), wm: wm, sig: sig,
+			}})
+
+			if st.cfg.ForceMisspecEpoch == e {
+				st.misspec.CompareAndSwap(misspecNone, misspecInjected)
+			}
+		}
+	}
+	// Mark this worker as past the segment so range gating never waits on
+	// a thread that has no tasks left.
+	st.done[tid].v.Store(1 << 62)
+	q.Produce(request{end: true})
+}
+
+// stallOnRange blocks while this worker is more than SpecDistance tasks
+// ahead of the laggard (the enter_task gating of Table 4.1). It reports true
+// if the segment misspeculated while waiting.
+func stallOnRange(st *specState, tid int, global, dist int64, stats *Stats) (aborted bool) {
+	if dist <= 0 {
+		return false
+	}
+	stalled := false
+	for spins := 0; ; spins++ {
+		min := int64(1<<62 - 1)
+		for o := range st.done {
+			if o == tid {
+				continue
+			}
+			if d := st.done[o].v.Load(); d < min {
+				min = d
+			}
+		}
+		if global-min < dist {
+			// Strictly within the profiled window: any pair separated by
+			// at least the minimum dependence distance is ordered, so a
+			// faithful profile guarantees misspeculation-free execution.
+			return false
+		}
+		if st.misspec.Load() != misspecNone {
+			return true
+		}
+		if !stalled {
+			stalled = true
+			atomic.AddInt64(&stats.RangeStalls, 1)
+		}
+		if spins > 8 {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package speccross
+
+import (
+	"math"
+
+	"crossinv/internal/runtime/signature"
+)
+
+// ProfileResult reports what the profiling run (§4.4) observed. The paper's
+// profiling library runs the parallelized program with non-speculative
+// barriers on a training input, records every cross-epoch conflict, and
+// derives the minimum dependence distance used to bound speculation.
+type ProfileResult struct {
+	// Tasks and Epochs describe the profiled region.
+	Tasks  int64
+	Epochs int64
+	// Conflicts counts cross-epoch signature conflicts observed.
+	Conflicts int64
+	// MinDistance is the minimum number of tasks between any two
+	// conflicting tasks (global task numbering), or NoConflict if no
+	// conflict was observed. Table 5.3 reports this per benchmark.
+	MinDistance int64
+	// PerLoop gives the minimum dependence distance per loop label, for
+	// workloads implementing Labeler (FLUIDANIMATE-2's per-inner-loop
+	// distances in Table 5.3). Loops with no observed conflict are absent.
+	PerLoop map[string]int64
+}
+
+// NoConflict is the MinDistance value when profiling observed no
+// cross-epoch conflicts (the "*" entries of Table 5.3).
+const NoConflict int64 = math.MaxInt64
+
+// Recommended returns the speculative-range bound to use at runtime:
+// the observed minimum distance, or 0 (unbounded) when no conflict was
+// observed. Profitable reports whether speculation is advisable at all —
+// the paper declines to speculate when the distance is below the worker
+// count (§4.4: "If the minimum dependence distance is smaller than a
+// threshold value, speculation will not be done. By default, the threshold
+// value is set to be equal to the number of worker threads.").
+func (r *ProfileResult) Recommended(workers int) (specDistance int64, profitable bool) {
+	if r.MinDistance == NoConflict {
+		return 0, true
+	}
+	return r.MinDistance, r.MinDistance >= int64(workers)
+}
+
+// PerEpoch returns a per-epoch speculative bound from the per-loop minimum
+// distances, for workloads implementing Labeler: epochs of loops with no
+// observed conflict speculate unbounded, the rest use their loop's profiled
+// distance. Install the result as Config.SpecDistanceOf.
+func (r *ProfileResult) PerEpoch(w Workload) func(epoch int) int64 {
+	labeler, ok := w.(Labeler)
+	if !ok {
+		d, _ := r.Recommended(1)
+		return func(int) int64 { return d }
+	}
+	return func(epoch int) int64 {
+		if d, ok := r.PerLoop[labeler.EpochLabel(epoch)]; ok {
+			return d
+		}
+		return 0
+	}
+}
+
+// Profile executes the workload sequentially in epoch order, computing each
+// task's signature and comparing it against the signatures of tasks from
+// earlier epochs within the given window of preceding epochs. window <= 0
+// means compare against every earlier epoch (exact but quadratic); the
+// engine only ever overlaps epochs within a checkpoint segment, so a window
+// of the checkpoint period is exact in practice.
+//
+// Profiling never mutates speculation state and uses the workload's own Run
+// with a live signature, exactly like the paper's shared profiling/
+// speculation interface (Table 4.1: the same inserted calls serve both
+// modes, selected by MODE).
+func Profile(w Workload, kind signature.Kind, window int) ProfileResult {
+	res := ProfileResult{MinDistance: NoConflict, PerLoop: map[string]int64{}}
+	labeler, hasLabels := w.(Labeler)
+
+	epochs := w.Epochs()
+	res.Epochs = int64(epochs)
+
+	type profTask struct {
+		global int64
+		sig    *signature.Signature
+	}
+	perEpoch := make([][]profTask, 0, epochs)
+
+	global := int64(0)
+	for e := 0; e < epochs; e++ {
+		n := w.Tasks(e)
+		cur := make([]profTask, 0, n)
+		label := ""
+		if hasLabels {
+			label = labeler.EpochLabel(e)
+		}
+		lo := 0
+		if window > 0 && e-window > 0 {
+			lo = e - window
+		}
+		for t := 0; t < n; t++ {
+			sig := signature.New(kind)
+			w.Run(e, t, 0, sig)
+			res.Tasks++
+			mine := profTask{global: global, sig: sig}
+			global++
+			if !sig.Empty() {
+				for pe := lo; pe < e; pe++ {
+					for i := range perEpoch[pe] {
+						prev := &perEpoch[pe][i]
+						if prev.sig != nil && sig.Conflicts(prev.sig) {
+							res.Conflicts++
+							d := mine.global - prev.global
+							if d < res.MinDistance {
+								res.MinDistance = d
+							}
+							if cur, ok := res.PerLoop[label]; !ok || d < cur {
+								res.PerLoop[label] = d
+							}
+						}
+					}
+				}
+			}
+			cur = append(cur, mine)
+		}
+		perEpoch = append(perEpoch, cur)
+	}
+	return res
+}

@@ -1,0 +1,155 @@
+// Package speccross implements the SPECCROSS runtime system (Chapter 4): a
+// software-only speculative barrier. Worker threads execute past loop
+// invocation boundaries (epochs) without synchronizing; each task publishes
+// a memory-access signature; a checker thread compares signatures of tasks
+// from *different* epochs that overlapped in time (signatures from the same
+// epoch are never compared — the inner loops are independently parallelized,
+// which is the advantage over TM-style speculation Fig 4.4 illustrates).
+// On misspeculation the runtime restores the last checkpoint and re-executes
+// the affected epochs with non-speculative barriers (§4.2.2).
+//
+// The package also provides the profiling mode of §4.4, which computes the
+// minimum dependence distance used to bound the speculative range at runtime.
+package speccross
+
+import (
+	"fmt"
+	"time"
+
+	"crossinv/internal/runtime/signature"
+)
+
+// Workload is the code region SPECCROSS parallelizes: a sequence of epochs
+// (parallel loop invocations separated by barriers in the baseline), each a
+// set of independent tasks (loop iterations).
+type Workload interface {
+	// Epochs reports the number of barriers/invocations in the region.
+	Epochs() int
+	// Tasks reports the number of tasks in the given epoch.
+	Tasks(epoch int) int
+	// Run executes one task on worker tid. When sig is non-nil the body
+	// must record its shared-memory accesses into it (the spec_access
+	// instrumentation Algorithm 5 inserts); sig is nil during
+	// non-speculative (re-)execution, where no tracking is needed.
+	Run(epoch, task, tid int, sig *signature.Signature)
+	// Snapshot captures the speculatively-mutated state. It is invoked only
+	// at epoch boundaries with all workers quiescent.
+	Snapshot() any
+	// Restore rolls the state back to a snapshot taken by Snapshot.
+	Restore(snapshot any)
+}
+
+// Irreversibler is optionally implemented by workloads with epochs that
+// perform irreversible operations (I/O); such epochs are executed
+// non-speculatively between two full synchronizations (§4.2.2).
+type Irreversibler interface {
+	Irreversible(epoch int) bool
+}
+
+// Labeler optionally names the loop each epoch is an invocation of, so the
+// profiler can report a minimum dependence distance per loop (the loop_name
+// parameter of enter_barrier in Table 4.1).
+type Labeler interface {
+	EpochLabel(epoch int) string
+}
+
+// Config tunes a SPECCROSS execution.
+type Config struct {
+	// Workers is the number of worker threads. One additional checker
+	// thread is spawned (§4.2.1), so total concurrency is Workers+1.
+	Workers int
+	// SigKind selects the signature scheme (default Range, §4.2.1).
+	SigKind signature.Kind
+	// SpecDistance is the speculation bound in tasks: a worker stalls when
+	// it would run SpecDistance or more tasks ahead of the laggard thread
+	// (the minimum dependence distance from profiling, §4.4), so any task
+	// pair separated by at least the profiled distance is ordered. Zero or
+	// negative means unbounded speculation.
+	SpecDistance int64
+	// SpecDistanceOf, when set, overrides SpecDistance per epoch — the
+	// per-loop minimum dependence distances of §4.4 (Table 4.1 passes
+	// spec_distance to enter_task per loop; Table 5.3 reports per-loop
+	// values for FLUIDANIMATE). The bound applies to tasks of that epoch.
+	SpecDistanceOf func(epoch int) int64
+	// CheckpointEvery is the number of epochs between checkpoints
+	// (default 1000, §4.2.2).
+	CheckpointEvery int
+	// QueueCap is the per-worker request-queue capacity (default 1024).
+	QueueCap int
+	// CheckerShards is the number of checker threads (default 1, the
+	// paper's design; §5.2 identifies the single checker as the scaling
+	// bottleneck and names parallelizing it as future work). Each shard
+	// drains a subset of the worker queues against a shared, lock-guarded
+	// signature log; every shard logs its entry before comparing, so for
+	// any overlapping pair at least the later-logged side observes the
+	// earlier one.
+	CheckerShards int
+	// SpecTimeout, when positive, bounds the wall-clock duration of one
+	// speculative segment; exceeding it triggers misspeculation (the
+	// user-defined timeout of §4.2.2, guarding against speculative updates
+	// that change loop exit conditions).
+	SpecTimeout time.Duration
+	// ForceMisspecEpoch, when positive, artificially triggers one
+	// misspeculation upon completion of a task of that epoch — the
+	// fault-injection mode Fig 5.3's "with misspec." series uses.
+	// Zero (the default) disables injection.
+	ForceMisspecEpoch int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		panic(fmt.Sprintf("speccross: invalid worker count %d", c.Workers))
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1000
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.CheckerShards <= 0 {
+		c.CheckerShards = 1
+	}
+	if c.CheckerShards > c.Workers {
+		c.CheckerShards = c.Workers
+	}
+	if c.ForceMisspecEpoch == 0 {
+		c.ForceMisspecEpoch = -1
+	}
+}
+
+// Stats reports what the runtime observed; Table 5.3 is generated from
+// these counters.
+type Stats struct {
+	// Tasks is the number of task executions, excluding re-execution.
+	Tasks int64
+	// Epochs is the number of epochs executed speculatively.
+	Epochs int64
+	// CheckRequests counts checking requests sent to the checker thread
+	// whose comparison window was non-empty (requests against an empty
+	// window are logged but skipped, the optimization §4.1.3 describes).
+	CheckRequests int64
+	// Comparisons counts signature pairs compared by the checker.
+	Comparisons int64
+	// Misspeculations counts detected violations (signature conflicts,
+	// worker panics, injected faults, and timeouts).
+	Misspeculations int64
+	// Checkpoints counts snapshots taken.
+	Checkpoints int64
+	// ReexecutedEpochs counts epochs re-executed with non-speculative
+	// barriers after misspeculation.
+	ReexecutedEpochs int64
+	// RangeStalls counts tasks that stalled on the speculative-range bound.
+	RangeStalls int64
+}
+
+// packET packs an (epoch, task) pair so positions can be compared with a
+// single integer comparison and published with a single atomic store; the
+// 64-bit write atomicity requirement §4.2.1 calls out is what the atomic
+// gives us on every architecture.
+func packET(epoch, task int32) uint64 {
+	return uint64(uint32(epoch))<<32 | uint64(uint32(task))
+}
+
+func unpackET(v uint64) (epoch, task int32) {
+	return int32(v >> 32), int32(uint32(v))
+}

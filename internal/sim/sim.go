@@ -1,0 +1,437 @@
+// Package sim is a discrete-event, virtual-time execution simulator for the
+// three execution strategies the evaluation compares: barrier-synchronized
+// DOALL (the pthread-barrier baseline of Figs 5.1–5.2), DOMORE's
+// scheduler/worker pipeline, and SPECCROSS's speculative epochs.
+//
+// The simulator exists because the paper's numbers come from a 24-core
+// Xeon X7460, while correctness runs here execute on whatever cores the
+// host has (see DESIGN.md, substitution 1). Each workload exports a Trace —
+// its epochs, per-task costs and address sets, and the serial work between
+// invocations — and the simulator advances per-thread virtual clocks using
+// exactly the ordering rules the real runtimes enforce: barriers join all
+// clocks; the DOMORE scheduler serializes address computation and delays
+// conflicting iterations until their dependences complete; SPECCROSS lets
+// epochs overlap, charges the checker, and synchronizes only at checkpoints.
+// Speedups are virtual-time ratios against the sequential sum.
+package sim
+
+import "fmt"
+
+// Task is one inner-loop iteration: its execution cost in virtual time
+// units and the shared addresses it reads and writes.
+type Task struct {
+	Cost   int64
+	Reads  []uint64
+	Writes []uint64
+	// SchedCost overrides the DOMORE scheduler's cost for this task
+	// (computeAddr + shadow + dispatch); 0 means use the cost model
+	// (SchedPerIter + SchedPerAddr per address).
+	SchedCost int64
+}
+
+// Epoch is one loop invocation: the serial (outer-loop) work preceding it
+// and its parallel tasks.
+type Epoch struct {
+	SeqCost int64
+	Tasks   []Task
+	// JoinAfter forces the DOMORE scheduler to wait for every dispatched
+	// task before continuing past this epoch — the plan used when the
+	// following sequential code consumes the workers' results (the
+	// FLUIDANIMATE-1 shape, Fig 5.1(d), where DOMORE cannot overlap
+	// invocations).
+	JoinAfter bool
+	// PerThreadCost is paid by every worker thread once per epoch
+	// regardless of its task share — the LOCALWRITE redundant traversal
+	// (§2.2: "each worker thread executes all of the iterations" and skips
+	// non-owned updates), which grows no cheaper with more threads.
+	PerThreadCost int64
+}
+
+// Trace is a workload's recorded execution structure.
+type Trace struct {
+	Name   string
+	Epochs []Epoch
+}
+
+// Tasks reports the total task count.
+func (t *Trace) Tasks() int {
+	n := 0
+	for _, e := range t.Epochs {
+		n += len(e.Tasks)
+	}
+	return n
+}
+
+// SeqTime is the sequential execution time: all serial sections, all task
+// costs, and one copy of any per-thread redundancy (a single thread walks
+// the iteration space exactly once).
+func (t *Trace) SeqTime() int64 {
+	var total int64
+	for _, e := range t.Epochs {
+		total += e.SeqCost + e.PerThreadCost
+		for _, task := range e.Tasks {
+			total += task.Cost
+		}
+	}
+	return total
+}
+
+// CostModel holds the virtual-time constants of the simulated machine.
+// Values are in abstract time units (≈ nanoseconds on the paper's testbed).
+type CostModel struct {
+	// BarrierBase and BarrierPerThread model pthread_barrier_wait:
+	// cost = BarrierBase + BarrierPerThread·threads, growing with
+	// contention as Fig 4.3 measures.
+	BarrierBase, BarrierPerThread int64
+	// SchedPerAddr is the DOMORE scheduler's cost per address check
+	// (computeAddr + shadow update, Algorithm 1).
+	SchedPerAddr int64
+	// SchedPerIter is the scheduler's fixed per-iteration cost (schedule +
+	// produce).
+	SchedPerIter int64
+	// WorkerSyncCost is a worker's cost to wait-check one condition.
+	WorkerSyncCost int64
+	// WorkerPerTask is a DOMORE worker's fixed per-iteration cost (queue
+	// consume, completion publish).
+	WorkerPerTask int64
+	// CheckPerTask is the SPECCROSS checker's cost per checking request.
+	CheckPerTask int64
+	// TaskOverhead is SPECCROSS's per-task bookkeeping (signature, queue).
+	TaskOverhead int64
+	// CheckpointCost is the cost of one checkpoint synchronization.
+	CheckpointCost int64
+}
+
+// DefaultModel returns constants calibrated so the evaluated workloads
+// land in the regimes the paper reports (barrier cost on the order of
+// thousands of cycles and rising with thread count; scheduler work an
+// order of magnitude below typical task cost; checking cheaper than
+// tasks).
+func DefaultModel() CostModel {
+	return CostModel{
+		BarrierBase:      2500,
+		BarrierPerThread: 1200,
+		SchedPerAddr:     60,
+		SchedPerIter:     90,
+		WorkerSyncCost:   120,
+		WorkerPerTask:    150,
+		CheckPerTask:     75,
+		TaskOverhead:     100,
+		CheckpointCost:   12000,
+	}
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	Makespan int64
+	// Idle is the summed idle time across threads (waiting at barriers,
+	// stalling on conditions, or starving for work).
+	Idle int64
+	// Threads is the thread count simulated (workers + scheduler/checker
+	// where applicable).
+	Threads int
+	// Stalls counts synchronization waits that actually delayed a thread.
+	Stalls int64
+}
+
+// Speedup reports seq/makespan.
+func (r Result) Speedup(seq int64) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(seq) / float64(r.Makespan)
+}
+
+// SimBarrier simulates the baseline: each epoch's tasks are dealt
+// round-robin to threads; the serial section runs on one thread while the
+// others wait; a barrier (whose cost grows with the thread count) joins all
+// threads after every epoch.
+func SimBarrier(tr *Trace, threads int, m CostModel) Result {
+	if threads <= 0 {
+		panic(fmt.Sprintf("sim: invalid thread count %d", threads))
+	}
+	barrier := m.BarrierBase + m.BarrierPerThread*int64(threads)
+	clock := make([]int64, threads)
+	var idle int64
+	now := int64(0)
+	for _, e := range tr.Epochs {
+		// Serial section on thread 0; all threads begin the epoch together.
+		now += e.SeqCost
+		for i := range clock {
+			clock[i] = now + e.PerThreadCost
+		}
+		for i, task := range e.Tasks {
+			clock[i%threads] += task.Cost
+		}
+		// Barrier: everyone advances to the latest clock, paying the
+		// barrier cost. Idle time — what Fig 4.3 calls barrier overhead —
+		// is the imbalance wait plus the barrier operation itself, on
+		// every thread.
+		max := now
+		for _, c := range clock {
+			if c > max {
+				max = c
+			}
+		}
+		for _, c := range clock {
+			idle += max - c
+		}
+		idle += barrier * int64(threads)
+		now = max + barrier
+	}
+	return Result{Makespan: now, Idle: idle, Threads: threads}
+}
+
+// SimDomore simulates the DOMORE pipeline of Fig 3.2(c): a scheduler thread
+// executes serial sections and per-iteration address checks, dispatching
+// tasks to workers; a task may not start before the scheduler has
+// dispatched it, its worker is free, and every earlier task that touched a
+// common address (with a write on either side) has finished — the runtime's
+// synchronization conditions.
+func SimDomore(tr *Trace, workers int, m CostModel) Result {
+	if workers <= 0 {
+		panic(fmt.Sprintf("sim: invalid worker count %d", workers))
+	}
+	sched := int64(0)
+	workerFree := make([]int64, workers)
+	// lastTouch maps address → (finish time of last accessor, last writer
+	// finish time) so read/read sharing does not serialize.
+	type touch struct {
+		writeFinish int64
+		readFinish  int64
+	}
+	lastTouch := map[uint64]touch{}
+	var idle, stalls int64
+	iter := 0
+	for _, e := range tr.Epochs {
+		sched += e.SeqCost
+		for _, task := range e.Tasks {
+			if task.SchedCost > 0 {
+				sched += task.SchedCost
+			} else {
+				sched += m.SchedPerIter + m.SchedPerAddr*int64(len(task.Reads)+len(task.Writes))
+			}
+			w := iter % workers
+			iter++
+			ready := sched
+			if workerFree[w] > ready {
+				ready = workerFree[w]
+			}
+			depReady := int64(0)
+			for _, a := range task.Reads {
+				if t, ok := lastTouch[a]; ok && t.writeFinish > depReady {
+					depReady = t.writeFinish
+				}
+			}
+			for _, a := range task.Writes {
+				if t, ok := lastTouch[a]; ok {
+					if t.writeFinish > depReady {
+						depReady = t.writeFinish
+					}
+					if t.readFinish > depReady {
+						depReady = t.readFinish
+					}
+				}
+			}
+			if depReady > ready {
+				idle += depReady - ready
+				stalls++
+				ready = depReady + m.WorkerSyncCost
+			}
+			if wf := workerFree[w]; ready > wf {
+				idle += ready - wf
+			}
+			finish := ready + task.Cost + m.WorkerPerTask
+			workerFree[w] = finish
+			for _, a := range task.Writes {
+				t := lastTouch[a]
+				if finish > t.writeFinish {
+					t.writeFinish = finish
+				}
+				lastTouch[a] = t
+			}
+			for _, a := range task.Reads {
+				t := lastTouch[a]
+				if finish > t.readFinish {
+					t.readFinish = finish
+				}
+				lastTouch[a] = t
+			}
+		}
+		if e.JoinAfter {
+			// The scheduler's next sequential section consumes worker
+			// results: wait for every worker to drain.
+			max := sched
+			for _, f := range workerFree {
+				if f > max {
+					max = f
+				}
+			}
+			idle += max - sched
+			sched = max
+		}
+	}
+	makespan := sched
+	for _, f := range workerFree {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return Result{Makespan: makespan, Idle: idle, Threads: workers + 1, Stalls: stalls}
+}
+
+// SpecConfig tunes a SPECCROSS simulation.
+type SpecConfig struct {
+	// Workers is the worker thread count (the checker is one more).
+	Workers int
+	// CheckpointEvery is the checkpoint period in epochs.
+	CheckpointEvery int
+	// SpecDistance bounds how many tasks a worker may run ahead of the
+	// laggard; 0 means unbounded.
+	SpecDistance int64
+	// DistanceOf, when set, overrides SpecDistance per epoch (per-loop
+	// profiled distances).
+	DistanceOf func(epoch int) int64
+	// MisspecEpoch, when >= 0, injects one misspeculation in the segment
+	// containing that epoch (Fig 5.3's fault injection).
+	MisspecEpoch int
+}
+
+// SimSpecCross simulates speculative barrier execution: workers flow across
+// epoch boundaries, each task pays the bookkeeping overhead, the (single)
+// checker consumes one request per task, dependences across epochs order
+// conflicting tasks (profiled spec-distance gating prevents them from
+// overlapping, which is what zero-misspeculation runs look like), and every
+// segment ends with a checkpoint that waits for workers and checker. An
+// injected misspeculation rolls its whole segment back and re-executes it
+// with barriers.
+func SimSpecCross(tr *Trace, cfg SpecConfig, m CostModel) Result {
+	if cfg.Workers <= 0 {
+		panic(fmt.Sprintf("sim: invalid worker count %d", cfg.Workers))
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1000
+	}
+	if cfg.MisspecEpoch == 0 {
+		cfg.MisspecEpoch = -1
+	}
+	nw := cfg.Workers
+	clock := make([]int64, nw)
+	var idle, stalls int64
+	checker := int64(0)
+	now := int64(0) // segment base time
+
+	// Global completion ordering state for spec-distance gating.
+	type touch struct{ writeFinish, readFinish int64 }
+
+	for seg := 0; seg < len(tr.Epochs); seg += cfg.CheckpointEvery {
+		end := seg + cfg.CheckpointEvery
+		if end > len(tr.Epochs) {
+			end = len(tr.Epochs)
+		}
+		for i := range clock {
+			clock[i] = now
+		}
+		segCheckerStart := checker
+		if segCheckerStart < now {
+			segCheckerStart = now
+		}
+		checker = segCheckerStart
+		lastTouch := map[uint64]touch{}
+		finishTimes := []int64{} // per-global-task finish, for spec distance
+
+		for ei := seg; ei < end; ei++ {
+			e := tr.Epochs[ei]
+			// Serial sections are privatized/replayed: every worker pays
+			// them (the duplication of §4.3), plus any per-thread
+			// redundancy the inner parallelization carries.
+			for i := range clock {
+				clock[i] += e.SeqCost + e.PerThreadCost
+			}
+			for ti, task := range e.Tasks {
+				w := ti % nw
+				ready := clock[w]
+				// Cross-epoch dependence ordering (the profiled distance
+				// keeps speculation misspeculation-free).
+				depReady := int64(0)
+				for _, a := range task.Reads {
+					if t, ok := lastTouch[a]; ok && t.writeFinish > depReady {
+						depReady = t.writeFinish
+					}
+				}
+				for _, a := range task.Writes {
+					if t, ok := lastTouch[a]; ok {
+						if t.writeFinish > depReady {
+							depReady = t.writeFinish
+						}
+						if t.readFinish > depReady {
+							depReady = t.readFinish
+						}
+					}
+				}
+				// Speculative-range gating.
+				dist := cfg.SpecDistance
+				if cfg.DistanceOf != nil {
+					dist = cfg.DistanceOf(ei)
+				}
+				if dist > 0 {
+					g := int64(len(finishTimes))
+					if back := g - dist; back >= 0 {
+						if ft := finishTimes[back]; ft > depReady {
+							depReady = ft
+						}
+					}
+				}
+				if depReady > ready {
+					idle += depReady - ready
+					stalls++
+					ready = depReady
+				}
+				finish := ready + task.Cost + m.TaskOverhead
+				clock[w] = finish
+				finishTimes = append(finishTimes, finish)
+				for _, a := range task.Writes {
+					t := lastTouch[a]
+					if finish > t.writeFinish {
+						t.writeFinish = finish
+					}
+					lastTouch[a] = t
+				}
+				for _, a := range task.Reads {
+					t := lastTouch[a]
+					if finish > t.readFinish {
+						t.readFinish = finish
+					}
+					lastTouch[a] = t
+				}
+				// Checker consumes the request after the task finishes.
+				if checker < finish {
+					checker = finish
+				}
+				checker += m.CheckPerTask
+			}
+		}
+		// Checkpoint: all workers and the checker synchronize.
+		max := checker
+		for _, c := range clock {
+			if c > max {
+				max = c
+			}
+		}
+		for _, c := range clock {
+			idle += max - c
+		}
+		segEnd := max + m.CheckpointCost
+
+		// Injected misspeculation: the segment rolls back and re-executes
+		// with non-speculative barriers.
+		if cfg.MisspecEpoch >= seg && cfg.MisspecEpoch < end {
+			sub := &Trace{Epochs: tr.Epochs[seg:end]}
+			re := SimBarrier(sub, nw, m)
+			segEnd += re.Makespan
+			idle += re.Idle
+		}
+		now = segEnd
+	}
+	return Result{Makespan: now, Idle: idle, Threads: nw + 1, Stalls: stalls}
+}

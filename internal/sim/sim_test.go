@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// uniformTrace builds epochs × tasksPerEpoch independent tasks of the given
+// cost.
+func uniformTrace(epochs, tasksPerEpoch int, cost int64) *Trace {
+	tr := &Trace{Name: "uniform"}
+	for e := 0; e < epochs; e++ {
+		ep := Epoch{}
+		for t := 0; t < tasksPerEpoch; t++ {
+			ep.Tasks = append(ep.Tasks, Task{Cost: cost})
+		}
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr
+}
+
+// chainTrace builds epochs where every task writes a per-index cell, so
+// task t of each epoch conflicts with task t of the previous epoch.
+func chainTrace(epochs, tasksPerEpoch int, cost int64) *Trace {
+	tr := &Trace{Name: "chain"}
+	for e := 0; e < epochs; e++ {
+		ep := Epoch{}
+		for t := 0; t < tasksPerEpoch; t++ {
+			ep.Tasks = append(ep.Tasks, Task{Cost: cost, Writes: []uint64{uint64(t)}})
+		}
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr
+}
+
+func TestSeqTime(t *testing.T) {
+	tr := uniformTrace(10, 8, 100)
+	if got := tr.SeqTime(); got != 10*8*100 {
+		t.Fatalf("SeqTime = %d, want %d", got, 8000)
+	}
+	tr.Epochs[0].SeqCost = 50
+	if got := tr.SeqTime(); got != 8050 {
+		t.Fatalf("SeqTime with serial = %d, want 8050", got)
+	}
+	if tr.Tasks() != 80 {
+		t.Fatalf("Tasks = %d", tr.Tasks())
+	}
+}
+
+func TestBarrierNeverBeatsIdealSpeedup(t *testing.T) {
+	m := DefaultModel()
+	tr := uniformTrace(100, 48, 5000)
+	seq := tr.SeqTime()
+	for threads := 2; threads <= 24; threads += 2 {
+		r := SimBarrier(tr, threads, m)
+		if s := r.Speedup(seq); s > float64(threads) {
+			t.Fatalf("threads=%d speedup %.2f exceeds ideal", threads, s)
+		}
+	}
+}
+
+func TestBarrierOverheadGrowsWithThreads(t *testing.T) {
+	m := DefaultModel()
+	// Few tasks per epoch (the CG regime, Table 5.3: 9 tasks/epoch): at
+	// high thread counts barrier execution must collapse.
+	tr := uniformTrace(5000, 9, 4000)
+	r8 := SimBarrier(tr, 8, m)
+	r24 := SimBarrier(tr, 24, m)
+	frac8 := float64(r8.Idle) / float64(r8.Makespan*int64(r8.Threads))
+	frac24 := float64(r24.Idle) / float64(r24.Makespan*int64(r24.Threads))
+	if frac24 <= frac8 {
+		t.Fatalf("idle fraction must grow with threads: %f vs %f", frac8, frac24)
+	}
+}
+
+func TestDomoreBeatsBarrierOnManySmallEpochs(t *testing.T) {
+	m := DefaultModel()
+	tr := uniformTrace(2000, 9, 4000)
+	seq := tr.SeqTime()
+	bar := SimBarrier(tr, 24, m)
+	dom := SimDomore(tr, 23, m) // 23 workers + 1 scheduler = 24 threads
+	if dom.Speedup(seq) <= bar.Speedup(seq) {
+		t.Fatalf("DOMORE %.2f must beat barrier %.2f in the frequent-invocation regime",
+			dom.Speedup(seq), bar.Speedup(seq))
+	}
+}
+
+func TestDomoreRespectsDependences(t *testing.T) {
+	m := CostModel{} // zero overheads: pure dependence structure
+	// Every epoch's task 0 writes address 0: those tasks serialize.
+	tr := &Trace{}
+	const epochs = 50
+	for e := 0; e < epochs; e++ {
+		tr.Epochs = append(tr.Epochs, Epoch{Tasks: []Task{{Cost: 100, Writes: []uint64{0}}}})
+	}
+	r := SimDomore(tr, 8, m)
+	if r.Makespan < 100*epochs {
+		t.Fatalf("makespan %d below serialized chain %d", r.Makespan, 100*epochs)
+	}
+}
+
+func TestDomoreReadsDoNotSerialize(t *testing.T) {
+	m := CostModel{}
+	// All tasks read address 0 but never write it: fully parallel.
+	tr := &Trace{}
+	for e := 0; e < 10; e++ {
+		ep := Epoch{}
+		for t := 0; t < 8; t++ {
+			ep.Tasks = append(ep.Tasks, Task{Cost: 100, Reads: []uint64{0}})
+		}
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	r := SimDomore(tr, 8, m)
+	if r.Stalls != 0 {
+		t.Fatalf("read-only sharing caused %d stalls", r.Stalls)
+	}
+}
+
+func TestSpecCrossBeatsBarrier(t *testing.T) {
+	m := DefaultModel()
+	tr := uniformTrace(2000, 24, 4000)
+	seq := tr.SeqTime()
+	bar := SimBarrier(tr, 24, m)
+	spec := SimSpecCross(tr, SpecConfig{Workers: 23, CheckpointEvery: 1000}, m)
+	if spec.Speedup(seq) <= bar.Speedup(seq) {
+		t.Fatalf("SPECCROSS %.2f must beat barrier %.2f", spec.Speedup(seq), bar.Speedup(seq))
+	}
+}
+
+func TestSpecCrossRespectsCrossEpochDeps(t *testing.T) {
+	m := CostModel{}
+	tr := chainTrace(40, 1, 100)
+	r := SimSpecCross(tr, SpecConfig{Workers: 4, CheckpointEvery: 1000}, m)
+	if r.Makespan < 40*100 {
+		t.Fatalf("makespan %d below dependence chain %d", r.Makespan, 4000)
+	}
+}
+
+func TestMisspeculationAddsReexecution(t *testing.T) {
+	m := DefaultModel()
+	tr := uniformTrace(100, 24, 4000)
+	clean := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 10}, m)
+	faulty := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 10, MisspecEpoch: 55}, m)
+	if faulty.Makespan <= clean.Makespan {
+		t.Fatalf("injected misspeculation must cost time: %d vs %d", faulty.Makespan, clean.Makespan)
+	}
+}
+
+func TestMoreCheckpointsCheaperRecovery(t *testing.T) {
+	m := DefaultModel()
+	tr := uniformTrace(200, 24, 4000)
+	// With misspeculation, frequent checkpoints bound the re-executed
+	// segment; compare recovery overhead at 2 vs 50 checkpoints.
+	few := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 100, MisspecEpoch: 99}, m)
+	many := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 4, MisspecEpoch: 99}, m)
+	if many.Makespan >= few.Makespan {
+		t.Fatalf("frequent checkpoints should cap re-execution: %d vs %d", many.Makespan, few.Makespan)
+	}
+}
+
+func TestCheckerBottleneckAtHighThreadCounts(t *testing.T) {
+	m := DefaultModel()
+	// Tiny tasks: the single checker (CheckPerTask each) cannot keep up
+	// once workers outnumber cost/CheckPerTask — §5.2's observed limit.
+	tr := uniformTrace(500, 96, 600)
+	seq := tr.SeqTime()
+	s12 := SimSpecCross(tr, SpecConfig{Workers: 12, CheckpointEvery: 1000}, m)
+	s23 := SimSpecCross(tr, SpecConfig{Workers: 23, CheckpointEvery: 1000}, m)
+	gain := s23.Speedup(seq) / s12.Speedup(seq)
+	if gain > 1.3 {
+		t.Fatalf("checker should bound scaling: 12→23 workers gained %.2fx", gain)
+	}
+}
+
+func TestSpecDistanceGatingSlowsDown(t *testing.T) {
+	m := CostModel{}
+	tr := uniformTrace(50, 8, 100)
+	free := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 1000}, m)
+	gated := SimSpecCross(tr, SpecConfig{Workers: 8, CheckpointEvery: 1000, SpecDistance: 2}, m)
+	if gated.Makespan < free.Makespan {
+		t.Fatalf("tight gating cannot be faster: %d vs %d", gated.Makespan, free.Makespan)
+	}
+}
+
+func TestInvalidThreadCountsPanic(t *testing.T) {
+	tr := uniformTrace(1, 1, 1)
+	for name, f := range map[string]func(){
+		"barrier": func() { SimBarrier(tr, 0, DefaultModel()) },
+		"domore":  func() { SimDomore(tr, 0, DefaultModel()) },
+		"spec":    func() { SimSpecCross(tr, SpecConfig{}, DefaultModel()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with 0 threads did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: makespan is at least the critical path (max single task + seq
+// costs) and at most the sequential time plus total overheads.
+func TestQuickMakespanBounds(t *testing.T) {
+	m := DefaultModel()
+	prop := func(epochs, tasks, threads uint8, cost uint16) bool {
+		e := int(epochs%10) + 1
+		k := int(tasks%12) + 1
+		n := int(threads%8) + 1
+		c := int64(cost%5000) + 1
+		tr := uniformTrace(e, k, c)
+		seq := tr.SeqTime()
+		for _, r := range []Result{
+			SimBarrier(tr, n, m),
+			SimDomore(tr, n, m),
+			SimSpecCross(tr, SpecConfig{Workers: n, CheckpointEvery: 4}, m),
+		} {
+			if r.Makespan < c { // at least one task's cost
+				return false
+			}
+			if r.Speedup(seq) > float64(n)+0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

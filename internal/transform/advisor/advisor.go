@@ -1,0 +1,118 @@
+// Package advisor classifies loops by the intra-invocation parallelization
+// techniques of Chapter 2: DOALL when no dependence crosses iterations,
+// DSWP/DOACROSS when dependence cycles exist but the DAG_SCC still has
+// parallel structure (Figs 2.4–2.5), and speculation (TLS / SpecDSWP,
+// Fig 2.8) when a single strongly connected component swallows the whole
+// body (Fig 2.6). The crossinv pipeline uses parfor annotations plus
+// ClassifyParallel for its own decisions; this advisor reports what the
+// paper's survey of prior techniques would do with a loop, for diagnostics
+// and for the Table 5.1 "parallelization plan" column.
+package advisor
+
+import (
+	"fmt"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/pdg"
+	"crossinv/internal/analysis/scc"
+	"crossinv/internal/ir"
+)
+
+// Plan is a recommended intra-invocation parallelization technique.
+type Plan int
+
+// Plans, in decreasing order of expected scalability.
+const (
+	// DOALL: iterations are independent (Fig 2.3(a)).
+	DOALL Plan = iota
+	// DSWP: dependence cycles exist but the condensation has several
+	// components, so the body pipelines across threads (Fig 2.5(b)).
+	DSWP
+	// DOACROSS: cycles exist and the condensation is shallow; iterations
+	// interleave with cross-thread synchronization (Fig 2.5(a)).
+	DOACROSS
+	// Speculative: one SCC spans the whole body; only speculation (TLS /
+	// SpecDSWP, Fig 2.8) can extract parallelism.
+	Speculative
+)
+
+// String returns the plan name as the paper spells it.
+func (p Plan) String() string {
+	switch p {
+	case DOALL:
+		return "DOALL"
+	case DSWP:
+		return "DSWP"
+	case DOACROSS:
+		return "DOACROSS"
+	case Speculative:
+		return "speculative (TLS/SpecDSWP)"
+	default:
+		return fmt.Sprintf("Plan(%d)", int(p))
+	}
+}
+
+// Recommendation is the advisor's output for one loop.
+type Recommendation struct {
+	Plan Plan
+	// Stages is the DSWP pipeline depth (number of DAG_SCC components),
+	// meaningful for DSWP and DOACROSS.
+	Stages int
+	// LargestSCC is the size (in instructions) of the biggest component.
+	LargestSCC int
+	// Nodes is the PDG node count.
+	Nodes int
+	// Reason explains the classification.
+	Reason string
+}
+
+// Advise classifies the loop.
+func Advise(p *ir.Program, dep *depend.Result, loop *ir.Loop) Recommendation {
+	g := pdg.Build(p, dep, loop)
+
+	carried := false
+	for _, e := range g.Edges {
+		if e.LoopCarried {
+			carried = true
+			break
+		}
+	}
+	if !carried {
+		return Recommendation{
+			Plan:   DOALL,
+			Stages: 1,
+			Nodes:  len(g.Nodes),
+			Reason: "no loop-carried dependences: iterations are independent",
+		}
+	}
+
+	// Include every edge (carried ones too): SCCs over this graph are the
+	// units that must stay together or serialize (Fig 3.6(c)).
+	comps := scc.Tarjan(g.ToSCCGraph(false))
+	largest := 0
+	for _, ms := range comps.Members {
+		if len(ms) > largest {
+			largest = len(ms)
+		}
+	}
+	n := len(g.Nodes)
+	switch {
+	case n > 0 && largest*10 >= n*8: // a cycle spans (almost) the whole body
+		return Recommendation{
+			Plan: Speculative, Stages: 1, LargestSCC: largest, Nodes: n,
+			Reason: "a single dependence cycle spans the body (the Fig 2.6 shape); " +
+				"DSWP has one stage and DOACROSS's cycle height equals the iteration",
+		}
+	case comps.NumComponents() > 1:
+		return Recommendation{
+			Plan: DSWP, Stages: comps.NumComponents(), LargestSCC: largest, Nodes: n,
+			Reason: fmt.Sprintf("%d DAG_SCC components form a pipeline; DOACROSS also applies "+
+				"with synchronization on the %d-instruction cycle", comps.NumComponents(), largest),
+		}
+	default:
+		return Recommendation{
+			Plan: DOACROSS, Stages: 1, LargestSCC: largest, Nodes: n,
+			Reason: "cycles dominate but do not span the body",
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package advisor_test
+
+import (
+	"strings"
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/transform/advisor"
+)
+
+func advise(t *testing.T, src string, loopIdx int) advisor.Recommendation {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return advisor.Advise(p, depend.Analyze(p), p.Loops[loopIdx])
+}
+
+func TestDOALLLoop(t *testing.T) {
+	// Fig 2.3(a): independent iterations.
+	rec := advise(t, `func f() {
+		var A[100], B[101]
+		for i = 0 .. 100 { A[i] = B[i] + B[i+1] }
+	}`, 0)
+	if rec.Plan != advisor.DOALL {
+		t.Fatalf("plan = %v (%s), want DOALL", rec.Plan, rec.Reason)
+	}
+}
+
+func TestPipelineLoop(t *testing.T) {
+	// The Fig 2.4 shape: a traversal recurrence (node = next[node]) feeding
+	// an accumulation (cost += doit(node)) — two dependence cycles that
+	// form a two-stage pipeline.
+	rec := advise(t, `func f() {
+		var NEXT[100], D[100]
+		node = 0
+		cost = 0
+		for i = 0 .. 50 {
+			cost = cost + D[node]
+			node = NEXT[node] % 100
+		}
+	}`, 0)
+	if rec.Plan != advisor.DSWP {
+		t.Fatalf("plan = %v (%s), want DSWP", rec.Plan, rec.Reason)
+	}
+	if rec.Stages < 2 {
+		t.Fatalf("stages = %d, want at least 2 (traverse | accumulate)", rec.Stages)
+	}
+}
+
+func TestSingleSCCNeedsSpeculation(t *testing.T) {
+	// The Fig 2.6 shape: the accumulated value feeds the traversal, so the
+	// whole body is one strongly connected component.
+	rec := advise(t, `func f() {
+		var NEXT[100], D[100]
+		node = 0
+		cost = 0
+		for i = 0 .. 50 {
+			cost = cost + D[node]
+			node = (NEXT[node] + cost) % 100
+		}
+	}`, 0)
+	if rec.Plan != advisor.Speculative {
+		t.Fatalf("plan = %v (%s), want speculative", rec.Plan, rec.Reason)
+	}
+	// The cycle spans everything except standalone constants.
+	if rec.LargestSCC*10 < rec.Nodes*8 {
+		t.Fatalf("largest SCC %d of %d nodes; expected a near-spanning cycle", rec.LargestSCC, rec.Nodes)
+	}
+}
+
+func TestRecurrenceIsNotDOALL(t *testing.T) {
+	rec := advise(t, `func f() {
+		var A[101]
+		for i = 0 .. 100 { A[i+1] = A[i] + 1 }
+	}`, 0)
+	if rec.Plan == advisor.DOALL {
+		t.Fatalf("distance-1 recurrence classified DOALL (%s)", rec.Reason)
+	}
+}
+
+func TestPlanNamesAndReasons(t *testing.T) {
+	for _, p := range []advisor.Plan{advisor.DOALL, advisor.DSWP, advisor.DOACROSS, advisor.Speculative} {
+		if strings.HasPrefix(p.String(), "Plan(") {
+			t.Fatalf("plan %d unnamed", int(p))
+		}
+	}
+	rec := advise(t, `func f() {
+		var A[4]
+		for i = 0 .. 4 { A[i] = i }
+	}`, 0)
+	if rec.Reason == "" {
+		t.Fatal("empty reason")
+	}
+}

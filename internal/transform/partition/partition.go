@@ -1,0 +1,204 @@
+// Package partition implements the DOMORE scheduler/worker partitioning of
+// §3.3.1: the instructions of a candidate loop nest are split so that the
+// scheduler thread owns the outer loop's sequential region and all inner
+// loop traversal, workers own the inner loop bodies, and all dependences
+// flow scheduler → worker (a pipeline). The split is computed as a fixed
+// point over the DAG_SCC of the region PDG, ignoring loop-carried memory
+// edges — those are the dependences DOMORE's runtime enforces with
+// synchronization conditions instead of with the partition.
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/pdg"
+	"crossinv/internal/analysis/scc"
+	"crossinv/internal/ir"
+)
+
+// Side says which thread owns an instruction.
+type Side int
+
+// Sides.
+const (
+	Scheduler Side = iota
+	Worker
+)
+
+// String returns the side name.
+func (s Side) String() string {
+	if s == Scheduler {
+		return "scheduler"
+	}
+	return "worker"
+}
+
+// Result is a computed partition for one candidate region.
+type Result struct {
+	Outer *ir.Loop
+	// Inners are the parallel loops whose bodies form the worker side,
+	// in textual order.
+	Inners []*ir.Loop
+	// Side maps instruction ID → owning thread, for every instruction in
+	// the region.
+	Side map[int]Side
+	// Graph is the region PDG the partition was computed from.
+	Graph *pdg.Graph
+	// Moved counts worker instructions pulled into the scheduler by the
+	// fixed point (0 for cleanly pipelined programs).
+	Moved int
+}
+
+// ErrNoParallelInner reports a region without any parfor child.
+var ErrNoParallelInner = errors.New("partition: region has no parallel inner loop")
+
+// ErrEmptyWorker reports that the fixed point moved every instruction to
+// the scheduler: the region has worker→scheduler dataflow and DOMORE is
+// inapplicable (the Fig 4.1 situation).
+var ErrEmptyWorker = errors.New("partition: worker partition is empty; DOMORE inapplicable")
+
+// Compute partitions the region rooted at outer.
+func Compute(p *ir.Program, dep *depend.Result, outer *ir.Loop) (*Result, error) {
+	var inners []*ir.Loop
+	for _, n := range outer.Body {
+		if l, ok := n.(*ir.Loop); ok && l.Parallel {
+			inners = append(inners, l)
+		}
+	}
+	if len(inners) == 0 {
+		return nil, ErrNoParallelInner
+	}
+
+	g := pdg.Build(p, dep, outer)
+	res := &Result{Outer: outer, Inners: inners, Side: map[int]Side{}, Graph: g}
+
+	// Initial assignment: inner-loop bodies → worker; everything else in
+	// the region (sequential code, inner loop bounds — the "loop-traversal
+	// instructions" of §3.3.1) → scheduler.
+	workerSet := map[int]bool{}
+	for _, inner := range inners {
+		markBody(inner.Body, workerSet)
+	}
+	for _, id := range g.Nodes {
+		if workerSet[id] {
+			res.Side[id] = Worker
+		} else {
+			res.Side[id] = Scheduler
+		}
+	}
+
+	// SCC over the PDG without loop-carried memory edges (they are
+	// enforced at runtime by the scheduler's shadow memory).
+	sccGraph := g.ToSCCGraph(true)
+	comps := scc.Tarjan(sccGraph)
+	dag := scc.Condense(sccGraph, comps)
+
+	side := make([]Side, comps.NumComponents())
+	for c := range side {
+		side[c] = Worker
+	}
+	for _, id := range g.Nodes {
+		if res.Side[id] == Scheduler {
+			side[comps.Comp[g.Index[id]]] = Scheduler
+		}
+	}
+
+	// Fixed point: a worker component with an edge into a scheduler
+	// component violates the pipeline (values would flow worker →
+	// scheduler); re-partition it to the scheduler and repeat (§3.3.1
+	// step 2).
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < dag.N(); u++ {
+			if side[u] != Worker {
+				continue
+			}
+			for _, v := range dag.Succs(u) {
+				if side[v] == Scheduler {
+					side[u] = Scheduler
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	workerCount := 0
+	for _, id := range g.Nodes {
+		c := comps.Comp[g.Index[id]]
+		newSide := side[c]
+		if res.Side[id] == Worker && newSide == Scheduler {
+			res.Moved++
+		}
+		res.Side[id] = newSide
+		if newSide == Worker {
+			workerCount++
+		}
+	}
+	if workerCount == 0 {
+		return nil, ErrEmptyWorker
+	}
+	return res, nil
+}
+
+func markBody(nodes []ir.Node, set map[int]bool) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Instr:
+			set[n.ID] = true
+		case *ir.Loop:
+			for _, in := range n.Lo {
+				set[in.ID] = true
+			}
+			for _, in := range n.Hi {
+				set[in.ID] = true
+			}
+			markBody(n.Body, set)
+		case *ir.If:
+			for _, in := range n.Cond {
+				set[in.ID] = true
+			}
+			markBody(n.Then, set)
+			markBody(n.Else, set)
+		}
+	}
+}
+
+// WorkerBody reports whether every instruction of the given inner loop's
+// body stayed in the worker partition (i.e. the loop parallelizes cleanly).
+func (r *Result) WorkerBody(inner *ir.Loop) bool {
+	ok := true
+	var check func(nodes []ir.Node)
+	check = func(nodes []ir.Node) {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *ir.Instr:
+				if r.Side[n.ID] != Worker {
+					ok = false
+				}
+			case *ir.Loop:
+				check(n.Body)
+			case *ir.If:
+				check(n.Then)
+				check(n.Else)
+			}
+		}
+	}
+	check(inner.Body)
+	return ok
+}
+
+// Stats summarizes the partition for reports.
+func (r *Result) Stats() string {
+	s, w := 0, 0
+	for _, side := range r.Side {
+		if side == Scheduler {
+			s++
+		} else {
+			w++
+		}
+	}
+	return fmt.Sprintf("scheduler=%d worker=%d moved=%d", s, w, r.Moved)
+}

@@ -1,0 +1,127 @@
+package partition_test
+
+import (
+	"errors"
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/transform/partition"
+)
+
+func compute(t *testing.T, src string, region int) (*ir.Program, *partition.Result, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	res, err := partition.Compute(p, depend.Analyze(p), p.Loops[region])
+	return p, res, err
+}
+
+const cgLike = `
+func cg() {
+  var S[10], E[10], C[100], IDX[100]
+  for i = 0 .. 10 {
+    start = S[i]
+    end = E[i]
+    parfor j = start .. end {
+      C[IDX[j]] = C[IDX[j]] + j
+    }
+  }
+}
+`
+
+func TestCGPartition(t *testing.T) {
+	p, res, err := compute(t, cgLike, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inners) != 1 {
+		t.Fatalf("inners = %d, want 1", len(res.Inners))
+	}
+	inner := res.Inners[0]
+	if !res.WorkerBody(inner) {
+		t.Fatalf("inner body not fully worker-side: %s", res.Stats())
+	}
+	// The start/end scalar writes must be scheduler-side.
+	for _, in := range p.Instrs {
+		if in.Op == ir.WriteVar {
+			if res.Side[in.ID] != partition.Scheduler {
+				t.Fatalf("scalar write %v on %v side", in, res.Side[in.ID])
+			}
+		}
+		if in.Op == ir.Store && in.Array == "C" {
+			if res.Side[in.ID] != partition.Worker {
+				t.Fatalf("store C on %v side", res.Side[in.ID])
+			}
+		}
+	}
+	if res.Moved != 0 {
+		t.Fatalf("clean pipeline should move nothing, moved %d", res.Moved)
+	}
+}
+
+func TestNoParallelInner(t *testing.T) {
+	_, _, err := compute(t, `func f() {
+		var A[10]
+		for i = 0 .. 10 { A[i] = i }
+	}`, 0)
+	if !errors.Is(err, partition.ErrNoParallelInner) {
+		t.Fatalf("err = %v, want ErrNoParallelInner", err)
+	}
+}
+
+func TestWorkerToSchedulerFlowRejected(t *testing.T) {
+	// The sequential region reads B, which the worker writes: dataflow
+	// worker → scheduler breaks the pipeline, the fixed point pulls the
+	// whole body into the scheduler, and the partition is rejected
+	// (the Fig 4.1 situation).
+	_, _, err := compute(t, `func f() {
+		var A[10], B[10]
+		for i = 0 .. 10 {
+			x = B[0]
+			parfor j = 0 .. 10 { B[j] = j + x }
+		}
+	}`, 0)
+	if !errors.Is(err, partition.ErrEmptyWorker) {
+		t.Fatalf("err = %v, want ErrEmptyWorker", err)
+	}
+}
+
+func TestTwoInnerLoops(t *testing.T) {
+	_, res, err := compute(t, `
+	func f() {
+		var A[50], B[51]
+		for t = 0 .. 4 {
+			parfor i = 0 .. 50 { A[i] = B[i] + B[i+1] }
+			parfor j = 1 .. 51 { B[j] = A[j-1] + 1 }
+		}
+	}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inners) != 2 {
+		t.Fatalf("inners = %d, want 2", len(res.Inners))
+	}
+	for _, inner := range res.Inners {
+		if !res.WorkerBody(inner) {
+			t.Fatalf("inner %q body not worker-side", inner.Var)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	_, res, err := compute(t, cgLike, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats() == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,156 @@
+package fluidanimate
+
+import "crossinv/internal/sim"
+
+// Variant selects one of the parallelization plans the case study compares
+// (Fig 5.6), plus the FLUIDANIMATE-1 single-loop plan of Fig 5.1(d).
+type Variant int
+
+// Variants.
+const (
+	// LocalWrite is the compiler's owner-computes plan: every thread walks
+	// the whole iteration space, and pair interactions are computed from
+	// both owners' perspectives (Fig 5.6 "LOCALWRITE+Barrier"/"+SpecCross").
+	LocalWrite Variant = iota
+	// Domore is DOMORE's precisely-scheduled plan: the scheduler computes
+	// ownership and dispatches pair-once work, removing both the redundant
+	// walk and the pair recomputation at the price of the scheduler thread
+	// (Table 5.2: 21.5% of aggregate worker time).
+	Domore
+	// Manual is the hand-parallelized PARSEC version: pairs computed once
+	// under per-cell locks (DOANY), barriers between phases
+	// ("MANUAL(DOANY+Barrier)").
+	Manual
+	// ForcesOnly is FLUIDANIMATE-1: only ComputeForce is parallelized
+	// (50.2% of runtime, Table 5.1); everything else is sequential per
+	// frame, so DOMORE must join after every invocation (Fig 5.1(d)).
+	ForcesOnly
+)
+
+// String returns the variant's Fig 5.6 label.
+func (v Variant) String() string {
+	switch v {
+	case LocalWrite:
+		return "LOCALWRITE"
+	case Domore:
+		return "DOMORE"
+	case Manual:
+		return "MANUAL(DOANY)"
+	case ForcesOnly:
+		return "FLUIDANIMATE-1"
+	default:
+		return "?"
+	}
+}
+
+// plainCost is the pair-once per-cell cost of each phase — the work the
+// original sequential program performs (and the unit Fig 5.6's speedups are
+// measured against).
+func plainCost(ph int) int64 {
+	switch ph {
+	case PhaseDensities:
+		return 3100
+	case PhaseForces:
+		return 5900
+	case PhaseRebuild:
+		return 700
+	default:
+		return 900
+	}
+}
+
+// interaction reports whether the phase computes particle pairs.
+func interaction(ph int) bool {
+	return ph == PhaseDensities || ph == PhaseForces
+}
+
+// lockOverhead is the DOANY per-task lock acquisition cost.
+const lockOverhead = 800
+
+// forcesOnlySchedCost is FLUIDANIMATE-1's per-iteration scheduler cost:
+// the ownership computation plus the LOCALWRITE redundancy the
+// transformation moved into the scheduler (§5.1), which is what Table 5.2
+// measures as the 21.5% scheduler share.
+const forcesOnlySchedCost = 1270
+
+// domoreSchedCost is the DOMORE scheduler's per-iteration cost for
+// FLUIDANIMATE: the ownership computation the transformation hoisted out of
+// the workers (Table 5.2 measures the resulting scheduler share at 21.5% of aggregate worker time).
+const domoreSchedCost = 380
+
+// SeqWork is the sequential program's virtual time (pair-once, no locks).
+func (f *Fluid) SeqWork() int64 {
+	var total int64
+	for fr := 0; fr < f.Frames; fr++ {
+		for ph := 0; ph < NumPhases; ph++ {
+			total += 200 + plainCost(ph)*int64(f.Cells)
+		}
+	}
+	return total
+}
+
+// TraceVariant exports the virtual-time structure of the chosen plan.
+func (f *Fluid) TraceVariant(v Variant) *sim.Trace {
+	switch v {
+	case LocalWrite:
+		return f.Trace()
+	case Domore:
+		tr := &sim.Trace{Name: "FLUIDANIMATE/domore"}
+		for fr := 0; fr < f.Frames; fr++ {
+			for ph := 0; ph < NumPhases; ph++ {
+				e := sim.Epoch{SeqCost: 200}
+				for c := 0; c < f.Cells; c++ {
+					r, w := f.access(ph, c, nil, nil)
+					e.Tasks = append(e.Tasks, sim.Task{
+						Cost: plainCost(ph), Reads: r, Writes: w,
+						SchedCost: domoreSchedCost,
+					})
+				}
+				tr.Epochs = append(tr.Epochs, e)
+			}
+		}
+		return tr
+	case Manual:
+		tr := &sim.Trace{Name: "FLUIDANIMATE/manual"}
+		for fr := 0; fr < f.Frames; fr++ {
+			for ph := 0; ph < NumPhases; ph++ {
+				e := sim.Epoch{SeqCost: 200}
+				for c := 0; c < f.Cells; c++ {
+					r, w := f.access(ph, c, nil, nil)
+					cost := plainCost(ph)
+					if interaction(ph) {
+						cost += lockOverhead
+					}
+					e.Tasks = append(e.Tasks, sim.Task{Cost: cost, Reads: r, Writes: w})
+				}
+				tr.Epochs = append(tr.Epochs, e)
+			}
+		}
+		return tr
+	case ForcesOnly:
+		// One epoch per frame: the seven sequential phases collapse into
+		// SeqCost, ComputeForces' cells are the tasks, and DOMORE must
+		// join because AdvanceParticles consumes the forces.
+		tr := &sim.Trace{Name: "FLUIDANIMATE-1"}
+		var seq int64
+		for ph := 0; ph < NumPhases; ph++ {
+			if ph != PhaseForces {
+				seq += plainCost(ph) * int64(f.Cells)
+			}
+		}
+		for fr := 0; fr < f.Frames; fr++ {
+			e := sim.Epoch{SeqCost: seq, JoinAfter: true}
+			for c := 0; c < f.Cells; c++ {
+				r, w := f.access(PhaseForces, c, nil, nil)
+				e.Tasks = append(e.Tasks, sim.Task{
+					Cost: plainCost(PhaseForces), Reads: r, Writes: w,
+					SchedCost: forcesOnlySchedCost,
+				})
+			}
+			tr.Epochs = append(tr.Epochs, e)
+		}
+		return tr
+	default:
+		return f.Trace()
+	}
+}

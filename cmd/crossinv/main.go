@@ -7,13 +7,15 @@
 //
 //	crossinv [flags] <program.lnl>
 //
-//	-mode     seq | barrier | domore | speccross | all   (default all)
+//	-mode     seq | barrier | domore | speccross | adaptive | all   (default all)
+//	-engine   alias of -mode (the adaptive-runtime docs use this name)
 //	-workers  worker thread count (default 4)
 //	-region   candidate region index (default: last detected)
 //	-report   print the per-region analysis report and exit
 //	-dump     print the lowered IR and exit
 //	-profile  run the §4.4 profiling pass before speculating (speccross)
 //	-ckpt     SPECCROSS checkpoint period in epochs (default 1000)
+//	-window   adaptive monitoring window in epochs (0: runtime default)
 //
 // Example:
 //
@@ -29,6 +31,7 @@ import (
 	"crossinv/internal/core"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
+	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
 	"crossinv/internal/sim"
@@ -36,18 +39,23 @@ import (
 )
 
 var (
-	mode    = flag.String("mode", "all", "execution mode: seq|barrier|domore|speccross|all")
+	mode    = flag.String("mode", "all", "execution mode: seq|barrier|domore|speccross|adaptive|all")
+	engine  = flag.String("engine", "", "alias of -mode")
 	workers = flag.Int("workers", 4, "worker thread count")
 	region  = flag.Int("region", -1, "candidate region index (-1: last)")
 	report  = flag.Bool("report", false, "print the analysis report and exit")
 	dump    = flag.Bool("dump", false, "print the lowered IR and exit")
 	profile = flag.Bool("profile", false, "profile before speculating")
 	ckpt    = flag.Int("ckpt", 1000, "speccross checkpoint period (epochs)")
+	window  = flag.Int("window", 0, "adaptive monitoring window in epochs (0: runtime default)")
 	sweep   = flag.Bool("sweep", false, "print a 2..24-thread virtual-time scalability sweep and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *engine != "" {
+		*mode = *engine
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: crossinv [flags] <program.lnl>")
 		flag.PrintDefaults()
@@ -143,6 +151,16 @@ func main() {
 			fmt.Printf("%-10s checksum %016x  %v  (tasks %d, misspeculations %d, checkpoints %d)\n",
 				m, got, time.Since(start).Round(time.Microsecond),
 				res.Stats.Tasks, res.Stats.Misspeculations, res.Stats.Checkpoints)
+		case "adaptive":
+			res, err := c.RunAdaptive(target, adaptive.Config{Workers: *workers, Window: *window})
+			if err != nil {
+				fmt.Printf("%-10s inapplicable: %v\n", m, err)
+				return
+			}
+			got = res.Env.Checksum()
+			fmt.Printf("%-10s checksum %016x  %v  (windows %d, switches %d, engine windows [domore speccross barrier] %v)\n",
+				m, got, time.Since(start).Round(time.Microsecond),
+				res.Stats.Windows, res.Stats.Switches, res.Stats.EngineWindows)
 		}
 		if got != want {
 			fmt.Fprintf(os.Stderr, "FAIL: %s checksum %016x != sequential %016x\n", m, got, want)
@@ -156,7 +174,8 @@ func main() {
 		runMode("barrier")
 		runMode("domore")
 		runMode("speccross")
-	case "barrier", "domore", "speccross":
+		runMode("adaptive")
+	case "barrier", "domore", "speccross", "adaptive":
 		runMode(*mode)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

@@ -12,6 +12,7 @@
 //	experiments fig5.3         # speedup vs checkpoint count, with/without misspeculation
 //	experiments fig5.4         # best speedups vs previous work
 //	experiments fig5.6         # FLUIDANIMATE case study
+//	experiments figA.1         # adaptive engine selection on the phase-shifting workload
 //
 // Speedup series are produced by the virtual-time simulator driven by each
 // workload's recorded trace (see DESIGN.md substitution 1); counter tables
@@ -40,6 +41,7 @@ import (
 	_ "crossinv/internal/workloads/jacobi"
 	_ "crossinv/internal/workloads/llubench"
 	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
 	_ "crossinv/internal/workloads/symm"
 )
 
@@ -65,10 +67,12 @@ func main() {
 		"fig5.3":   fig53,
 		"fig5.4":   fig54,
 		"fig5.6":   fig56,
+		"figA.1":   figA1,
 	}
 	order := []string{
 		"table5.1", "fig3.3", "fig4.3", "fig5.1", "table5.2",
 		"fig5.2", "fig5.3", "table5.3", "fig5.4", "fig5.6",
+		"figA.1",
 	}
 	for _, a := range args {
 		if a == "all" {

@@ -36,6 +36,7 @@ import (
 	_ "crossinv/internal/workloads/jacobi"
 	_ "crossinv/internal/workloads/llubench"
 	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
 	_ "crossinv/internal/workloads/symm"
 )
 

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"crossinv/internal/ir"
+	"crossinv/internal/ir/interp"
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/transform/speccrossgen"
+)
+
+// AdaptiveResult is the outcome of an adaptive hybrid execution.
+type AdaptiveResult struct {
+	Env   *interp.Env
+	Stats adaptive.Stats
+}
+
+// RunAdaptive executes the program with the region under the adaptive
+// hybrid runtime: the region is transformed once, wrapped in its DOMORE
+// view (speccrossgen.NewDomoreView — this fails for regions whose task
+// addresses depend on parallel-written data, exactly the regions DOMORE
+// itself cannot handle), and handed to adaptive.Run, which switches between
+// barrier, DOMORE, and SPECCROSS execution at window boundaries as the
+// monitors dictate.
+func (c *Compiled) RunAdaptive(region *ir.Loop, cfg adaptive.Config) (*AdaptiveResult, error) {
+	env, finish, err := c.runOutside(region)
+	if err != nil {
+		return nil, err
+	}
+	r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	v, err := speccrossgen.NewDomoreView(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &AdaptiveResult{Stats: adaptive.Run(v, cfg)}
+	if err := finish(env); err != nil {
+		return nil, err
+	}
+	res.Env = env
+	return res, nil
+}

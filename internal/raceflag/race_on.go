@@ -1,11 +1,19 @@
 //go:build race
 
-// Package raceflag exposes whether the race detector is active, so tests
-// that exercise *intentional* speculative overlap — racy by design, per the
-// SPECCROSS execution model (§4.2.1): conflicting accesses race until the
-// checker detects them and rolls back — can be skipped under -race while
-// still running (and validating the detection + recovery path) in the
-// normal suite.
+// Package raceflag exposes whether the race detector is active, for two
+// test-suite adaptations:
+//
+//   - Tests that exercise *intentional* speculative overlap — racy by
+//     design, per the SPECCROSS execution model (§4.2.1): conflicting
+//     accesses race until the checker detects them and rolls back — skip
+//     under -race while still running (and validating the detection +
+//     recovery path) in the normal suite. The adaptive-runtime tests
+//     instead gate speculative windows with a profiled SpecDistance (or a
+//     pinned DOMORE policy) so the controller itself stays fully exercised
+//     under the detector; only the real-misspeculation recovery test skips.
+//   - Long-region workload suites shrink their invocation counts (never
+//     their structure) so the detector's 10–20× slowdown stays within
+//     timeouts; see internal/workloads/workloadtest.Make.
 package raceflag
 
 // Enabled reports whether the binary was built with -race.

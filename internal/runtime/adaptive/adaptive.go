@@ -1,0 +1,278 @@
+// Package adaptive is the hybrid runtime: it executes an
+// invocation-structured code region window by window, monitors live
+// conflict and misspeculation signals, and switches execution engines —
+// barrier, DOMORE, or SPECCROSS — at window boundaries.
+//
+// The paper's central empirical finding is a crossover (§5, Fig 5.4):
+// DOMORE wins when cross-invocation dependences manifest frequently (CG's
+// 72.4% manifest rate, ECLAT's 99%), SPECCROSS wins when they are rare.
+// The static engines require that choice to be baked in at the call site;
+// this package takes the paper's title one step further and uses runtime
+// information to pick the runtime itself. Windows of W epochs run under
+// the current engine; DOMORE windows report the manifest-dependence rate
+// (sync conditions per iteration, from the scheduler of Algorithm 1),
+// SPECCROSS windows report misspeculations and checker pressure (from
+// the Chapter 4 Stats); a Policy — hysteresis thresholds by default,
+// pluggable for bandit-style learners — picks the engine for the next
+// window. Switches pay the documented quiesce cost: a drain barrier when
+// leaving DOMORE, a checkpoint barrier when leaving SPECCROSS (both fall
+// out of the window join every window boundary performs).
+package adaptive
+
+import (
+	"fmt"
+
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/shadow"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+)
+
+// Workload is a code region executable under every engine: one workload
+// definition providing both the DOMORE view (invocations of iterations
+// with redundantly computable address sets, §3.3.4) and the SPECCROSS
+// view (epochs of independent tasks with checkpointable state, §4.2).
+// Invocations and epochs must describe the same structure:
+// Invocations() == Epochs() and Iterations(i) == Tasks(i) for every i.
+//
+// The epochal.Kernel skeleton and the benchmark adapters already satisfy
+// both halves; Combine glues together separately implemented views.
+type Workload interface {
+	domore.Workload
+	speccross.Workload
+}
+
+// WindowStarter is optionally implemented by workloads that maintain
+// derived state for the DOMORE view (for example a private array mirror
+// that address recomputation replays against). WindowStart(epoch) is
+// invoked at each window boundary, with every engine quiescent and all
+// epochs before epoch committed, so the workload can resynchronize that
+// state before the next window runs.
+type WindowStarter interface {
+	WindowStart(epoch int)
+}
+
+// Combine builds a unified Workload from separately implemented engine
+// views over the same region and shared state. The two views must agree
+// on structure (d.Invocations() == s.Epochs(), iteration counts equal).
+func Combine(d domore.Workload, s speccross.Workload) Workload {
+	return &combined{d: d, s: s}
+}
+
+type combined struct {
+	d domore.Workload
+	s speccross.Workload
+}
+
+func (c *combined) Invocations() int         { return c.d.Invocations() }
+func (c *combined) Iterations(inv int) int   { return c.d.Iterations(inv) }
+func (c *combined) Sequential(inv int)       { c.d.Sequential(inv) }
+func (c *combined) Execute(inv, iter, t int) { c.d.Execute(inv, iter, t) }
+func (c *combined) Epochs() int              { return c.s.Epochs() }
+func (c *combined) Tasks(epoch int) int      { return c.s.Tasks(epoch) }
+func (c *combined) Snapshot() any            { return c.s.Snapshot() }
+func (c *combined) Restore(snap any)         { c.s.Restore(snap) }
+func (c *combined) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
+	return c.d.ComputeAddr(inv, iter, buf)
+}
+func (c *combined) Run(epoch, task, tid int, sig *signature.Signature) {
+	c.s.Run(epoch, task, tid, sig)
+}
+
+// Config tunes an adaptive execution.
+type Config struct {
+	// Workers is the worker thread count handed to every engine (each
+	// engine adds its own scheduler/checker threads as usual).
+	Workers int
+	// Window is the number of epochs per monitoring window (default 32).
+	Window int
+	// Policy picks the engine for each next window (default NewThreshold).
+	Policy Policy
+	// Start is the engine of the first window (default EngineDomore: it is
+	// non-speculative and measures the manifest rate directly, so it is
+	// the safe probe when nothing is known yet).
+	Start Engine
+	// Domore is the DOMORE options template. Workers is overridden per
+	// window; Shadow is replaced by a fresh store each DOMORE window
+	// (iteration numbering restarts per window, and every dependence into
+	// an earlier window is already satisfied by the window-boundary
+	// quiesce, so carrying shadow state across windows would manufacture
+	// waits on iterations that never re-execute).
+	Domore domore.Options
+	// Spec is the SPECCROSS config template. Workers and CheckpointEvery
+	// are overridden per window (each window is one checkpoint segment, so
+	// a misspeculating window rolls back exactly to its own start).
+	Spec speccross.Config
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		panic(fmt.Sprintf("adaptive: invalid worker count %d", c.Workers))
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Policy == nil {
+		c.Policy = NewThreshold()
+	}
+}
+
+// Stats reports what the adaptive controller and its engines observed.
+type Stats struct {
+	// Windows is the number of windows executed.
+	Windows int
+	// Switches counts engine changes at window boundaries.
+	Switches int
+	// EngineWindows counts windows executed per engine, indexed by Engine.
+	EngineWindows [NumEngines]int
+	// Domore aggregates the DOMORE windows' statistics.
+	Domore domore.Stats
+	// Spec aggregates the SPECCROSS windows' statistics.
+	Spec speccross.Stats
+	// Samples is the per-window monitor log, in execution order.
+	Samples []Sample
+}
+
+// Run executes the workload under the adaptive controller and returns the
+// combined statistics. Correctness is engine-independent: every window
+// runs to completion (SPECCROSS windows recover internally via rollback
+// and barrier re-execution), and window boundaries fully quiesce, so the
+// final state equals the sequential result regardless of the decisions.
+func Run(w Workload, cfg Config) Stats {
+	cfg.fill()
+	epochs := w.Epochs()
+	if inv := w.Invocations(); inv != epochs {
+		panic(fmt.Sprintf("adaptive: workload views disagree: %d invocations vs %d epochs", inv, epochs))
+	}
+
+	var stats Stats
+	engine := cfg.Start
+	for lo := 0; lo < epochs; {
+		hi := lo + cfg.Window
+		if hi > epochs {
+			hi = epochs
+		}
+		if ws, ok := w.(WindowStarter); ok {
+			ws.WindowStart(lo)
+		}
+		win := &window{w: w, lo: lo, hi: hi}
+		sample := Sample{Engine: engine, StartEpoch: lo, EndEpoch: hi}
+
+		switch engine {
+		case EngineBarrier:
+			speccross.RunBarriers(win, cfg.Workers)
+			for e := lo; e < hi; e++ {
+				sample.Tasks += int64(w.Tasks(e))
+			}
+		case EngineDomore:
+			opts := cfg.Domore
+			opts.Workers = cfg.Workers
+			opts.Shadow = shadow.NewSparse()
+			st := domore.Run(win, opts)
+			addDomore(&stats.Domore, st)
+			sample.Tasks = st.Iterations
+			if st.Iterations > 0 {
+				sample.ManifestRate = float64(st.SyncConditions) / float64(st.Iterations)
+			}
+		case EngineSpecCross:
+			sc := cfg.Spec
+			sc.Workers = cfg.Workers
+			sc.CheckpointEvery = hi - lo
+			// The template's epoch-indexed knobs are absolute; the window
+			// view re-bases epochs to 0, so shift them accordingly.
+			if of := cfg.Spec.SpecDistanceOf; of != nil {
+				base := lo
+				sc.SpecDistanceOf = func(epoch int) int64 { return of(base + epoch) }
+			}
+			if fe := cfg.Spec.ForceMisspecEpoch; fe > 0 {
+				if fe >= lo && fe < hi {
+					rel := fe - lo
+					if rel == 0 && hi-lo > 1 {
+						// speccross only injects on positive epoch indices;
+						// keep the fault in-window by moving it one epoch.
+						rel = 1
+					}
+					sc.ForceMisspecEpoch = rel
+				} else {
+					sc.ForceMisspecEpoch = -1
+				}
+			}
+			st := speccross.Run(win, sc)
+			addSpec(&stats.Spec, st)
+			sample.Tasks = st.Tasks
+			sample.Misspeculated = st.Misspeculations > 0
+			if st.Tasks > 0 {
+				sample.CheckerPressure = float64(st.Comparisons) / float64(st.Tasks)
+			}
+		default:
+			panic(fmt.Sprintf("adaptive: unknown engine %v", engine))
+		}
+
+		stats.Windows++
+		stats.EngineWindows[engine]++
+		stats.Samples = append(stats.Samples, sample)
+
+		next := cfg.Policy.Decide(sample)
+		if next < 0 || next >= NumEngines {
+			panic(fmt.Sprintf("adaptive: policy returned unknown engine %v", next))
+		}
+		if next != engine {
+			stats.Switches++
+		}
+		engine = next
+		lo = hi
+	}
+	return stats
+}
+
+// window exposes the epoch range [lo, hi) of a workload as a standalone
+// workload under both engine views, shifting indices so each engine sees
+// a region starting at invocation/epoch 0.
+type window struct {
+	w      Workload
+	lo, hi int
+}
+
+func (s *window) Invocations() int       { return s.hi - s.lo }
+func (s *window) Iterations(inv int) int { return s.w.Iterations(s.lo + inv) }
+func (s *window) Sequential(inv int)     { s.w.Sequential(s.lo + inv) }
+func (s *window) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
+	return s.w.ComputeAddr(s.lo+inv, iter, buf)
+}
+func (s *window) Execute(inv, iter, tid int) { s.w.Execute(s.lo+inv, iter, tid) }
+
+func (s *window) Epochs() int         { return s.hi - s.lo }
+func (s *window) Tasks(epoch int) int { return s.w.Tasks(s.lo + epoch) }
+func (s *window) Run(epoch, task, tid int, sig *signature.Signature) {
+	s.w.Run(s.lo+epoch, task, tid, sig)
+}
+func (s *window) Snapshot() any    { return s.w.Snapshot() }
+func (s *window) Restore(snap any) { s.w.Restore(snap) }
+
+// Irreversible forwards the §4.2.2 irreversible-epoch marker when the
+// underlying workload provides one.
+func (s *window) Irreversible(epoch int) bool {
+	if irr, ok := s.w.(speccross.Irreversibler); ok {
+		return irr.Irreversible(s.lo + epoch)
+	}
+	return false
+}
+
+func addDomore(dst *domore.Stats, s domore.Stats) {
+	dst.Iterations += s.Iterations
+	dst.Dispatches += s.Dispatches
+	dst.SyncConditions += s.SyncConditions
+	dst.Stalls += s.Stalls
+	dst.AddrChecks += s.AddrChecks
+}
+
+func addSpec(dst *speccross.Stats, s speccross.Stats) {
+	dst.Tasks += s.Tasks
+	dst.Epochs += s.Epochs
+	dst.CheckRequests += s.CheckRequests
+	dst.Comparisons += s.Comparisons
+	dst.Misspeculations += s.Misspeculations
+	dst.Checkpoints += s.Checkpoints
+	dst.ReexecutedEpochs += s.ReexecutedEpochs
+	dst.RangeStalls += s.RangeStalls
+}

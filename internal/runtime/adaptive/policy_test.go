@@ -1,0 +1,107 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"crossinv/internal/runtime/adaptive"
+)
+
+func domoreSample(rate float64) adaptive.Sample {
+	return adaptive.Sample{Engine: adaptive.EngineDomore, Tasks: 100, ManifestRate: rate}
+}
+
+func specSample(misspec bool, pressure float64) adaptive.Sample {
+	return adaptive.Sample{Engine: adaptive.EngineSpecCross, Tasks: 100, Misspeculated: misspec, CheckerPressure: pressure}
+}
+
+func TestEngineString(t *testing.T) {
+	cases := map[adaptive.Engine]string{
+		adaptive.EngineBarrier:   "barrier",
+		adaptive.EngineDomore:    "domore",
+		adaptive.EngineSpecCross: "speccross",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(e), got, want)
+		}
+	}
+	if got := adaptive.Engine(99).String(); got != "engine(99)" {
+		t.Errorf("unknown engine String() = %q", got)
+	}
+}
+
+func TestThresholdBarrierProbes(t *testing.T) {
+	p := adaptive.NewThreshold()
+	if got := p.Decide(adaptive.Sample{Engine: adaptive.EngineBarrier}); got != adaptive.EngineDomore {
+		t.Fatalf("after a blind barrier window got %v, want the domore probe", got)
+	}
+}
+
+func TestThresholdEnterSpeculation(t *testing.T) {
+	p := adaptive.NewThreshold()
+	p.Patience = 2
+	if got := p.Decide(domoreSample(0.7)); got != adaptive.EngineDomore {
+		t.Fatalf("high manifest rate switched to %v", got)
+	}
+	if got := p.Decide(domoreSample(0.01)); got != adaptive.EngineDomore {
+		t.Fatalf("one low window must not satisfy Patience=2, got %v", got)
+	}
+	// A high-rate window in between resets the consecutive-window count.
+	if got := p.Decide(domoreSample(0.9)); got != adaptive.EngineDomore {
+		t.Fatalf("rate spike switched to %v", got)
+	}
+	p.Decide(domoreSample(0.0))
+	if got := p.Decide(domoreSample(0.02)); got != adaptive.EngineSpecCross {
+		t.Fatalf("two consecutive low windows got %v, want speccross", got)
+	}
+}
+
+func TestThresholdMisspeculationBackoff(t *testing.T) {
+	p := adaptive.NewThreshold()
+	p.Backoff = 2
+	if got := p.Decide(specSample(true, 0)); got != adaptive.EngineDomore {
+		t.Fatalf("misspeculation got %v, want fallback to domore", got)
+	}
+	// During the hold, even rate zero must not re-enter speculation.
+	for i := 0; i < 2; i++ {
+		if got := p.Decide(domoreSample(0)); got != adaptive.EngineDomore {
+			t.Fatalf("hold window %d got %v, want domore", i, got)
+		}
+	}
+	// Hold expired: a low window counts again.
+	if got := p.Decide(domoreSample(0)); got != adaptive.EngineSpecCross {
+		t.Fatalf("post-hold low window got %v, want speccross", got)
+	}
+}
+
+func TestThresholdCheckerPressure(t *testing.T) {
+	p := adaptive.NewThreshold()
+	if got := p.Decide(specSample(false, 3)); got != adaptive.EngineSpecCross {
+		t.Fatalf("moderate pressure got %v, want to stay speculative", got)
+	}
+	if got := p.Decide(specSample(false, 50)); got != adaptive.EngineDomore {
+		t.Fatalf("checker overload got %v, want fallback to domore", got)
+	}
+}
+
+func TestThresholdZeroValueUsesDefaults(t *testing.T) {
+	// A zero ThresholdPolicy must behave like NewThreshold (fill on Decide).
+	var p adaptive.ThresholdPolicy
+	if got := p.Decide(domoreSample(0.04)); got != adaptive.EngineSpecCross {
+		t.Fatalf("zero-value policy: low window got %v, want speccross with default Patience=1", got)
+	}
+	if got := p.Decide(specSample(false, 0.5)); got != adaptive.EngineSpecCross {
+		t.Fatalf("zero-value policy: clean spec window got %v", got)
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	for eng := adaptive.Engine(0); eng < adaptive.NumEngines; eng++ {
+		p := adaptive.Fixed(eng)
+		for _, s := range []adaptive.Sample{domoreSample(0.9), domoreSample(0), specSample(true, 99), {Engine: adaptive.EngineBarrier}} {
+			if got := p.Decide(s); got != eng {
+				t.Fatalf("Fixed(%v).Decide = %v", eng, got)
+			}
+		}
+	}
+}

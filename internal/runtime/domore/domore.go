@@ -91,6 +91,17 @@ func (o *Options) fill() {
 
 // Stats reports what the runtime engine observed; the experiments harness
 // uses these counters for Table 5.2 and the figure captions.
+//
+// Concurrency contract (audited, enforced by the stats_race_test regression
+// under -race): while an engine runs, each field has exactly one writing
+// discipline. Fields written only by the single scheduler goroutine use
+// plain increments (all but Stalls in Run; AddrChecks, Iterations, and
+// SyncConditions in RunStealing's sequential precompute); fields written by
+// concurrent goroutines use atomic.AddInt64 (Stalls in every engine,
+// Dispatches in RunStealing, every field in RunDuplicated, whose scheduler
+// is replicated per worker). A field is never written through both
+// disciplines in one run, and the returned Stats is read only after all
+// goroutines have joined, so callers may read it without synchronization.
 type Stats struct {
 	// Iterations is the total number of inner-loop iterations scheduled
 	// (combined across invocations — the paper's global iteration numbers).

@@ -119,6 +119,15 @@ func (c *Config) fill() {
 
 // Stats reports what the runtime observed; Table 5.3 is generated from
 // these counters.
+//
+// Concurrency contract (audited, enforced by the stats_race_test regression
+// under -race): Tasks and RangeStalls are incremented with atomic.AddInt64
+// by concurrent workers; CheckRequests and Comparisons with atomic.AddInt64
+// by the checker thread; Epochs, Misspeculations, Checkpoints, and
+// ReexecutedEpochs with plain increments by the engine goroutine alone, at
+// segment boundaries where workers and checker are quiescent. The returned
+// Stats is read only after every thread has joined, so callers may read it
+// without synchronization.
 type Stats struct {
 	// Tasks is the number of task executions, excluding re-execution.
 	Tasks int64

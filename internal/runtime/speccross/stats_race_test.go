@@ -1,0 +1,46 @@
+package speccross
+
+import "testing"
+
+// TestStatsCountersRace is the regression for the Stats concurrency
+// contract (see the Stats doc comment): worker threads bump Tasks and
+// RangeStalls atomically while the checker bumps CheckRequests and
+// Comparisons, concurrently with the engine's plain segment-boundary
+// counters. The workload's epochs are fully disjoint so the execution is
+// data-race-free by construction, and an injected misspeculation drives the
+// rollback/re-execution counters (also engine-side plain writes) without
+// introducing a real conflict. `go test -race` flags any counter written
+// through both disciplines; a plain run still pins the totals.
+func TestStatsCountersRace(t *testing.T) {
+	g := newGrid(60, 8, 4, 8*4) // shift = tasks*blockSize: disjoint epochs
+	want := g.sequential()
+	stats := Run(g, Config{
+		Workers:           4,
+		CheckpointEvery:   10,
+		SpecDistance:      7, // exercise the RangeStalls atomic path too
+		ForceMisspecEpoch: 25,
+	})
+	checkResult(t, g, want)
+
+	if stats.Misspeculations != 1 {
+		t.Fatalf("Misspeculations = %d, want the 1 injected", stats.Misspeculations)
+	}
+	if stats.ReexecutedEpochs != 10 {
+		t.Fatalf("ReexecutedEpochs = %d, want the injected segment's 10", stats.ReexecutedEpochs)
+	}
+	// Speculative task executions cover at least the 50 clean epochs; the
+	// aborted segment's partial attempt makes the exact total timing-
+	// dependent.
+	if min := int64(50 * 8); stats.Tasks < min {
+		t.Fatalf("Tasks = %d, want >= %d", stats.Tasks, min)
+	}
+	if stats.Epochs < 50 {
+		t.Fatalf("Epochs = %d, want >= 50 speculative epochs", stats.Epochs)
+	}
+	if stats.Checkpoints == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	if stats.CheckRequests == 0 || stats.Comparisons == 0 {
+		t.Fatal("checker counters untouched; the atomic checker path did not run")
+	}
+}

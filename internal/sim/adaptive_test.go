@@ -1,0 +1,187 @@
+package sim_test
+
+import (
+	"testing"
+
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/sim"
+	"crossinv/internal/workloads/phased"
+)
+
+// phaseTrace slices one phase out of the phased trace.
+func phaseTrace(tr *sim.Trace, bounds []int, phase int) *sim.Trace {
+	return &sim.Trace{Name: tr.Name, Epochs: tr.Epochs[bounds[phase]:bounds[phase+1]]}
+}
+
+// staticBest simulates each static engine end-to-end on a trace at the
+// given core budget and returns the per-engine makespans: barrier, DOMORE,
+// and SPECCROSS (windowed, misspeculations included).
+func staticMakespans(tr *sim.Trace, threads, window int, m sim.CostModel) map[adaptive.Engine]int64 {
+	out := map[adaptive.Engine]int64{}
+	out[adaptive.EngineBarrier] = sim.SimBarrier(tr, threads, m).Makespan
+	out[adaptive.EngineDomore] = sim.SimDomore(tr, threads-1, m).Makespan
+	spec := sim.SimAdaptive(tr, sim.AdaptiveConfig{
+		Threads: threads, Window: window,
+		Policy: adaptive.Fixed(adaptive.EngineSpecCross),
+		Start:  adaptive.EngineSpecCross,
+	}, m)
+	out[adaptive.EngineSpecCross] = spec.Makespan
+	return out
+}
+
+// TestAdaptiveSimTracksPhaseWinner is the acceptance check behind figA.1:
+// at 24 simulated cores on the phase-shifting workload, the adaptive
+// engine stays within 10% of the best static engine in every phase, and
+// end-to-end it beats both all-DOMORE and all-SPECCROSS.
+func TestAdaptiveSimTracksPhaseWinner(t *testing.T) {
+	const threads = 24
+	m := sim.DefaultModel()
+	tr := phased.New(1).Trace()
+	bounds := phased.PhaseBounds(1)
+	seq := tr.SeqTime()
+
+	res := sim.SimAdaptive(tr, sim.AdaptiveConfig{Threads: threads, Window: phased.Window}, m)
+	t.Logf("adaptive: makespan=%d speedup=%.2f switches=%d windows=%v",
+		res.Makespan, res.Speedup(seq), res.Switches, res.EngineWindows)
+
+	// End-to-end comparison against the static engines.
+	static := staticMakespans(tr, threads, phased.Window, m)
+	for eng, mk := range static {
+		t.Logf("static %-9v makespan=%d speedup=%.2f", eng, mk, float64(seq)/float64(mk))
+	}
+	if res.Makespan >= static[adaptive.EngineDomore] {
+		t.Errorf("adaptive (%d) does not beat all-DOMORE (%d)", res.Makespan, static[adaptive.EngineDomore])
+	}
+	if res.Makespan >= static[adaptive.EngineSpecCross] {
+		t.Errorf("adaptive (%d) does not beat all-SPECCROSS (%d)", res.Makespan, static[adaptive.EngineSpecCross])
+	}
+
+	// Per-phase comparison: group the adaptive windows by phase (Window
+	// divides PhaseEpochs, so windows never straddle a boundary) and charge
+	// each switch to the phase it happened in.
+	phaseMk := make([]int64, phased.NumPhases)
+	prev := adaptive.Engine(-1)
+	swCost := m.BarrierBase + m.BarrierPerThread*threads
+	for _, w := range res.Windows {
+		p := 0
+		for p+1 < phased.NumPhases && w.Start >= bounds[p+1] {
+			p++
+		}
+		phaseMk[p] += w.Makespan
+		if prev >= 0 && w.Engine != prev {
+			phaseMk[p] += swCost
+		}
+		prev = w.Engine
+	}
+	var totalCheck int64
+	for p := 0; p < phased.NumPhases; p++ {
+		totalCheck += phaseMk[p]
+		sub := phaseTrace(tr, bounds, p)
+		best := int64(1) << 62
+		bestEng := adaptive.Engine(0)
+		for eng, mk := range staticMakespans(sub, threads, phased.Window, m) {
+			if mk < best {
+				best, bestEng = mk, eng
+			}
+		}
+		ratio := float64(phaseMk[p]) / float64(best)
+		t.Logf("phase %d [%d,%d): adaptive=%d best-static=%d (%v) ratio=%.3f",
+			p, bounds[p], bounds[p+1], phaseMk[p], best, bestEng, ratio)
+		if ratio > 1.10 {
+			t.Errorf("phase %d: adaptive %.1f%% above best static engine (limit 10%%)", p, (ratio-1)*100)
+		}
+	}
+	if totalCheck != res.Makespan {
+		t.Fatalf("per-phase sum %d != total makespan %d", totalCheck, res.Makespan)
+	}
+}
+
+// TestAdaptiveSimScales runs the full 2–24 core sweep and checks the
+// adaptive engine never loses to the static engines by more than the
+// switching overhead at any budget.
+func TestAdaptiveSimScales(t *testing.T) {
+	m := sim.DefaultModel()
+	tr := phased.New(1).Trace()
+	seq := tr.SeqTime()
+	prevSpeedup := 0.0
+	for _, threads := range []int{2, 4, 8, 12, 16, 20, 24} {
+		res := sim.SimAdaptive(tr, sim.AdaptiveConfig{Threads: threads, Window: phased.Window}, m)
+		sp := res.Speedup(seq)
+		t.Logf("threads=%2d speedup=%.2f switches=%d engines=%v", threads, sp, res.Switches, res.EngineWindows)
+		if sp <= 0 {
+			t.Fatalf("threads=%d: no speedup computed", threads)
+		}
+		if threads >= 8 && sp < prevSpeedup*0.8 {
+			t.Errorf("threads=%d: speedup %.2f collapsed from %.2f", threads, sp, prevSpeedup)
+		}
+		prevSpeedup = sp
+	}
+}
+
+// TestManifestRateSignal checks the simulated DOMORE monitor against the
+// phased workload's construction: high-rate phases must report well above
+// the default SpecEnter threshold, low-rate phases well below.
+func TestManifestRateSignal(t *testing.T) {
+	m := sim.DefaultModel()
+	tr := phased.New(1).Trace()
+	bounds := phased.PhaseBounds(1)
+	res := sim.SimAdaptive(tr, sim.AdaptiveConfig{
+		Threads: 24, Window: phased.Window,
+		Policy: adaptive.Fixed(adaptive.EngineDomore),
+		Start:  adaptive.EngineDomore,
+	}, m)
+	for _, w := range res.Windows {
+		if w.Start == bounds[0] || w.Start == bounds[1] || w.Start == bounds[2] {
+			// Phase-opening windows mix boundary epochs; skip them.
+			continue
+		}
+		high := phased.HighPhase(w.Start, 1)
+		if high && w.ManifestRate < 0.3 {
+			t.Errorf("window [%d,%d): high-phase manifest rate %.3f < 0.3", w.Start, w.End, w.ManifestRate)
+		}
+		if !high && w.ManifestRate > 0.05 {
+			t.Errorf("window [%d,%d): low-phase manifest rate %.3f > 0.05", w.Start, w.End, w.ManifestRate)
+		}
+	}
+}
+
+// TestMinConflictDistanceGate checks the §4.4 profitability rule drives
+// misspeculation exactly where the workload plants close conflicts.
+func TestMinConflictDistanceGate(t *testing.T) {
+	m := sim.DefaultModel()
+	res := sim.SimAdaptive(phased.New(1).Trace(), sim.AdaptiveConfig{
+		Threads: 24, Window: phased.Window,
+		Policy: adaptive.Fixed(adaptive.EngineSpecCross),
+		Start:  adaptive.EngineSpecCross,
+	}, m)
+	misspec, clean := 0, 0
+	for _, w := range res.Windows {
+		if w.Misspeculated {
+			misspec++
+			if !phased.HighPhase(w.Start, 1) {
+				t.Errorf("window [%d,%d) misspeculated in the low phase", w.Start, w.End)
+			}
+		} else {
+			clean++
+			if phased.HighPhase(w.Start, 1) && w.Start%phased.PhaseEpochs != 0 {
+				t.Errorf("window [%d,%d) in a high phase did not misspeculate", w.Start, w.End)
+			}
+		}
+	}
+	if misspec == 0 || clean == 0 {
+		t.Fatalf("want both outcomes, got %d misspeculated / %d clean windows", misspec, clean)
+	}
+
+	// The race-safe variant keeps every conflict beyond the gate: at the
+	// same budget nothing misspeculates.
+	safe := sim.SimAdaptive(phased.NewSafe(1).Trace(), sim.AdaptiveConfig{
+		Threads: 24, Window: phased.Window,
+		Policy: adaptive.Fixed(adaptive.EngineSpecCross),
+		Start:  adaptive.EngineSpecCross,
+	}, m)
+	for _, w := range safe.Windows {
+		if w.Misspeculated {
+			t.Errorf("safe variant window [%d,%d) misspeculated", w.Start, w.End)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package phased_test
+
+import (
+	"testing"
+
+	"crossinv/internal/workloads"
+	"crossinv/internal/workloads/phased"
+)
+
+func TestRegistered(t *testing.T) {
+	e, err := workloads.Find("PHASED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.DomoreOK || !e.SpecOK {
+		t.Fatalf("PHASED must be applicable to both engines: %+v", e)
+	}
+	inst := e.Make(1)
+	if inst.Name() != "PHASED" {
+		t.Fatalf("Name() = %q", inst.Name())
+	}
+}
+
+func TestPhaseBounds(t *testing.T) {
+	b := phased.PhaseBounds(1)
+	if len(b) != phased.NumPhases+1 || b[0] != 0 || b[phased.NumPhases] != phased.NumPhases*phased.PhaseEpochs {
+		t.Fatalf("PhaseBounds(1) = %v", b)
+	}
+	if phased.PhaseEpochs%phased.Window != 0 {
+		t.Fatalf("Window %d must divide PhaseEpochs %d so windows align with phases", phased.Window, phased.PhaseEpochs)
+	}
+	if !phased.HighPhase(0, 1) || phased.HighPhase(phased.PhaseEpochs, 1) || !phased.HighPhase(2*phased.PhaseEpochs, 1) {
+		t.Fatal("HighPhase must flag phases 0 and 2")
+	}
+}
+
+// conflictStats scans a kernel's address stream. Rates mirror what the
+// adaptive runtime's DOMORE monitor sees: reuse counted per window of
+// phased.Window epochs against a window-fresh map (cross-window reuses are
+// already satisfied at the window boundary). The minimum cross-epoch
+// conflict distance is global. Within-epoch address uniqueness (the inner
+// loops must stay DOALL) is asserted along the way.
+func conflictStats(t *testing.T, k interface {
+	Epochs() int
+	Tasks(int) int
+	ComputeAddr(int, int, []uint64) []uint64
+}) (rate []float64, minDist int64) {
+	t.Helper()
+	phaseConf := make([]int64, phased.NumPhases)
+	last := map[uint64]int64{}    // global: addr → last global index
+	inWindow := map[uint64]bool{} // window-fresh: addr seen this window
+	minDist = int64(1) << 62
+	g := int64(0)
+	for e := 0; e < k.Epochs(); e++ {
+		p := e / phased.PhaseEpochs
+		if e%phased.Window == 0 {
+			clear(inWindow)
+		}
+		seen := map[uint64]bool{}
+		for task := 0; task < k.Tasks(e); task++ {
+			addrs := k.ComputeAddr(e, task, nil)
+			if len(addrs) != 1 {
+				t.Fatalf("task (%d,%d) touches %d addresses, want 1", e, task, len(addrs))
+			}
+			a := addrs[0]
+			if seen[a] {
+				t.Fatalf("epoch %d reuses address %d within the epoch (not DOALL)", e, a)
+			}
+			seen[a] = true
+			if lg, ok := last[a]; ok {
+				if d := g - lg; d < minDist {
+					minDist = d
+				}
+				if inWindow[a] {
+					phaseConf[p]++
+				}
+			}
+			last[a] = g
+			inWindow[a] = true
+			g++
+		}
+	}
+	rate = make([]float64, phased.NumPhases)
+	for p := range rate {
+		rate[p] = float64(phaseConf[p]) / float64(phased.PhaseEpochs*phased.TasksPerEpoch)
+	}
+	return rate, minDist
+}
+
+// TestConflictStructure validates the construction against the advertised
+// constants: high phases manifest around HighRate, low phases around
+// LowRate, the close variant plants distance-1 conflicts, and the safe
+// variant keeps everything at or beyond MinSafeDistance.
+func TestConflictStructure(t *testing.T) {
+	k := phased.New(1)
+	rate, minDist := conflictStats(t, k)
+	for p, r := range rate {
+		if p%2 == 0 {
+			if r < 0.55 || r > 0.80 {
+				t.Errorf("high phase %d conflict rate %.3f outside [0.55,0.80]", p, r)
+			}
+		} else if r < 0.005 || r > 0.04 {
+			t.Errorf("low phase %d conflict rate %.3f outside [0.005,0.04]", p, r)
+		}
+	}
+	if minDist != 1 {
+		t.Errorf("close variant min dependence distance = %d, want the planted 1", minDist)
+	}
+
+	// The safe variant's sources sit SafeLag epochs back, so only epochs
+	// past the window's first SafeLag have in-window sources: the visible
+	// rate is HighRate scaled by (Window-SafeLag)/Window — still far above
+	// any speculation-entry threshold.
+	safe := phased.NewSafe(1)
+	srate, sminDist := conflictStats(t, safe)
+	for p, r := range srate {
+		if p%2 == 0 && (r < 0.35 || r > 0.80) {
+			t.Errorf("safe high phase %d conflict rate %.3f outside [0.35,0.80]", p, r)
+		}
+	}
+	if sminDist < phased.MinSafeDistance {
+		t.Errorf("safe variant min distance %d < MinSafeDistance %d", sminDist, phased.MinSafeDistance)
+	}
+}
+
+// TestPlantedBoundaryConflict: in the close variant, task 0 of every
+// in-phase high epoch reuses the address the previous epoch's last task
+// wrote — the distance-1 dependence that defeats speculation.
+func TestPlantedBoundaryConflict(t *testing.T) {
+	k := phased.New(1)
+	for _, e := range []int{10, 500, 2*phased.PhaseEpochs + 100} {
+		cur := k.ComputeAddr(e, 0, nil)
+		prev := k.ComputeAddr(e-1, phased.TasksPerEpoch-1, nil)
+		if cur[0] != prev[0] {
+			t.Errorf("epoch %d task 0 addr %d != epoch %d last-task addr %d", e, cur[0], e-1, prev[0])
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := phased.New(1), phased.New(1)
+	a.RunSequential()
+	b.RunSequential()
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("two identical instances diverged")
+	}
+	if a.Checksum() == phased.NewSafe(1).Checksum() {
+		t.Fatal("checksum of a run instance equals an unrun one")
+	}
+}
+
+func TestScaleGrows(t *testing.T) {
+	if e1, e2 := phased.New(1).Epochs(), phased.New(2).Epochs(); e2 != 2*e1 {
+		t.Fatalf("scale 2 has %d epochs, want %d", e2, 2*e1)
+	}
+}

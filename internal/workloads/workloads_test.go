@@ -19,6 +19,7 @@ import (
 	_ "crossinv/internal/workloads/jacobi"
 	_ "crossinv/internal/workloads/llubench"
 	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
 	_ "crossinv/internal/workloads/symm"
 )
 
@@ -53,6 +54,7 @@ func TestRegistryComplete(t *testing.T) {
 		"CG": true, "JACOBI": true, "FDTD": true, "SYMM": true,
 		"LOOPDEP": true, "EQUAKE": true, "LLUBENCH": true,
 		"FLUIDANIMATE": true, "BLACKSCHOLES": true, "ECLAT": true,
+		"PHASED": true,
 	}
 	got := map[string]bool{}
 	for _, e := range workloads.All() {

@@ -1,0 +1,135 @@
+// Package workloadtest is the shared per-workload test harness: every
+// benchmark package asserts, in its own directory, that each applicable
+// engine — barrier, DOMORE, SPECCROSS, and the adaptive hybrid — reproduces
+// the sequential checksum. Keeping one equivalence harness avoids nine
+// drifting copies of the golden-run/engine-run comparison, and keeps the
+// race-detector shrinking rule (see Make) in one place.
+package workloadtest
+
+import (
+	"testing"
+
+	"crossinv/internal/raceflag"
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/workloads"
+	"crossinv/internal/workloads/cg"
+	"crossinv/internal/workloads/epochal"
+	"crossinv/internal/workloads/fluidanimate"
+)
+
+// Make builds an instance at scale 1, shrinking the region (never its
+// structure) under the race detector so the 10–20× slowdown keeps suites
+// within timeouts; see internal/raceflag. Golden and parallel instances get
+// the same shrink, so equivalence checks stay exact.
+func Make(e workloads.Entry) workloads.Instance {
+	inst := e.Make(1)
+	if !raceflag.Enabled {
+		return inst
+	}
+	switch w := inst.(type) {
+	case *epochal.Kernel:
+		if w.NumEpochs > 120 {
+			w.NumEpochs = 120
+		}
+	case *cg.CG:
+		if w.Invs > 120 {
+			w.Invs = 120
+		}
+	case *fluidanimate.Fluid:
+		if w.Frames > 10 {
+			w.Frames = 10
+		}
+	}
+	return inst
+}
+
+// EnginesMatchSequential runs the named benchmark under every engine its
+// registry entry declares applicable and fails if any parallel checksum
+// diverges from the sequential one. SPECCROSS (and the adaptive runtime's
+// speculative windows) are gated with the §4.4 profiled distance when the
+// profile calls speculation profitable; otherwise the speculative paths fall
+// back to non-speculative execution, which also keeps the harness exact
+// under the race detector (conflicts inside the speculative range race by
+// design).
+func EnginesMatchSequential(t *testing.T, name string) {
+	t.Helper()
+	e, err := workloads.Find(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := Make(e)
+	golden.RunSequential()
+	want := golden.Checksum()
+
+	check := func(t *testing.T, inst workloads.Instance, engine string) {
+		t.Helper()
+		if got := inst.Checksum(); got != want {
+			t.Fatalf("%s checksum %x != sequential %x", engine, got, want)
+		}
+	}
+	kind := signature.Range
+	if e.Exact {
+		kind = signature.Exact
+	}
+	profiled := func() (int64, bool) {
+		pr := speccross.Profile(Make(e).(speccross.Workload), kind, 8)
+		return pr.Recommended(4)
+	}
+
+	if e.SpecOK {
+		t.Run("barrier", func(t *testing.T) {
+			inst := Make(e)
+			speccross.RunBarriers(inst.(speccross.Workload), 4)
+			check(t, inst, "barrier")
+		})
+	}
+	if e.DomoreOK {
+		t.Run("domore", func(t *testing.T) {
+			inst := Make(e)
+			if stats := domore.Run(inst.(domore.Workload), domore.Options{Workers: 4}); stats.Iterations == 0 {
+				t.Fatal("no iterations scheduled")
+			}
+			check(t, inst, "domore")
+		})
+	}
+	if e.SpecOK {
+		t.Run("speccross", func(t *testing.T) {
+			inst := Make(e)
+			sw := inst.(speccross.Workload)
+			cfg := speccross.Config{Workers: 4, CheckpointEvery: 200, SigKind: kind}
+			if dist, ok := profiled(); ok {
+				cfg.SpecDistance = dist
+				if stats := speccross.Run(sw, cfg); stats.Misspeculations != 0 {
+					t.Errorf("misspeculations = %d with profiled gating, want 0", stats.Misspeculations)
+				}
+			} else {
+				speccross.RunBarriers(sw, cfg.Workers)
+			}
+			check(t, inst, "speccross")
+		})
+	}
+	if e.DomoreOK && e.SpecOK {
+		t.Run("adaptive", func(t *testing.T) {
+			inst := Make(e)
+			aw, ok := inst.(adaptive.Workload)
+			if !ok {
+				t.Fatalf("%s is marked for both engines but is not an adaptive.Workload", name)
+			}
+			cfg := adaptive.Config{Workers: 4}
+			if dist, ok := profiled(); ok {
+				cfg.Spec.SpecDistance = dist
+			} else if raceflag.Enabled {
+				// Unprofitable speculation would misspeculate — by design a
+				// data race — so pin the policy to DOMORE under the detector.
+				cfg.Policy = adaptive.Fixed(adaptive.EngineDomore)
+			}
+			if stats := adaptive.Run(aw, cfg); stats.Windows == 0 {
+				t.Fatal("no windows executed")
+			}
+			check(t, inst, "adaptive")
+		})
+	}
+}

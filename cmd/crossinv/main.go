@@ -8,10 +8,13 @@
 //	crossinv [flags] <program.lnl>
 //
 //	-mode     seq | barrier | domore | speccross | adaptive | all   (default all)
-//	-engine   alias of -mode (the adaptive-runtime docs use this name)
+//	-engine   alias of -mode (the adaptive-runtime docs use this name; an
+//	          explicit -mode that disagrees with -engine is an error)
 //	-workers  worker thread count (default 4)
 //	-region   candidate region index (default: last detected)
 //	-report   print the per-region analysis report and exit
+//	-lint     run the static plan verifier and exit (nonzero on any error)
+//	-json     with -lint: emit diagnostics as a JSON array
 //	-dump     print the lowered IR and exit
 //	-profile  run the §4.4 profiling pass before speculating (speccross)
 //	-ckpt     SPECCROSS checkpoint period in epochs (default 1000)
@@ -44,6 +47,8 @@ var (
 	workers = flag.Int("workers", 4, "worker thread count")
 	region  = flag.Int("region", -1, "candidate region index (-1: last)")
 	report  = flag.Bool("report", false, "print the analysis report and exit")
+	lint    = flag.Bool("lint", false, "run the static plan verifier and exit (nonzero on any error)")
+	jsonOut = flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
 	dump    = flag.Bool("dump", false, "print the lowered IR and exit")
 	profile = flag.Bool("profile", false, "profile before speculating")
 	ckpt    = flag.Int("ckpt", 1000, "speccross checkpoint period (epochs)")
@@ -53,9 +58,18 @@ var (
 
 func main() {
 	flag.Parse()
-	if *engine != "" {
-		*mode = *engine
+	modeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mode" {
+			modeSet = true
+		}
+	})
+	resolved, err := resolveMode(*mode, modeSet, *engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossinv:", err)
+		os.Exit(2)
 	}
+	*mode = resolved
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: crossinv [flags] <program.lnl>")
 		flag.PrintDefaults()
@@ -73,14 +87,19 @@ func main() {
 		fmt.Print(c.Prog.Dump())
 		return
 	}
+	if *lint {
+		out, hasErrors, err := lintOutput(c, flag.Arg(0), *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if hasErrors {
+			os.Exit(1)
+		}
+		return
+	}
 	if *report {
-		if len(c.Regions) == 0 {
-			fmt.Println("no candidate regions (no outer loop with parallel inner loops)")
-			return
-		}
-		for _, r := range c.Regions {
-			fmt.Print(c.Report(r))
-		}
+		fmt.Print(reportOutput(c))
 		return
 	}
 
@@ -181,6 +200,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// resolveMode reconciles -mode and -engine: -engine is an alias of -mode,
+// so setting both to different values is a contradiction the driver refuses
+// rather than silently letting one win. modeSet says whether -mode was
+// given explicitly (its default does not conflict with anything).
+func resolveMode(mode string, modeSet bool, engine string) (string, error) {
+	if engine == "" {
+		return mode, nil
+	}
+	if modeSet && mode != engine {
+		return "", fmt.Errorf("-mode=%s and -engine=%s disagree; -engine is an alias of -mode, set only one", mode, engine)
+	}
+	return engine, nil
+}
+
+// lintOutput renders the static plan verifier's diagnostics for the
+// program, as text or JSON, and reports whether any has error severity.
+func lintOutput(c *core.Compiled, file string, asJSON bool) (string, bool, error) {
+	list := c.Lint().WithFile(file)
+	if asJSON {
+		raw, err := list.JSON()
+		if err != nil {
+			return "", false, err
+		}
+		return string(raw) + "\n", list.HasErrors(), nil
+	}
+	return list.Text(), list.HasErrors(), nil
+}
+
+// reportOutput renders the per-region analysis report.
+func reportOutput(c *core.Compiled) string {
+	if len(c.Regions) == 0 {
+		return "no candidate regions (no outer loop with parallel inner loops)\n"
+	}
+	var s string
+	for _, r := range c.Regions {
+		s += c.Report(r)
+	}
+	return s
 }
 
 // runSweep compiles the region into an instruction-counted virtual-time

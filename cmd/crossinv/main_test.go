@@ -1,0 +1,129 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crossinv/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestResolveMode(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mode    string
+		modeSet bool
+		engine  string
+		want    string
+		wantErr bool
+	}{
+		{name: "defaults", mode: "all", want: "all"},
+		{name: "mode only", mode: "domore", modeSet: true, want: "domore"},
+		{name: "engine only", mode: "all", engine: "speccross", want: "speccross"},
+		{name: "both agree", mode: "adaptive", modeSet: true, engine: "adaptive", want: "adaptive"},
+		{name: "both disagree", mode: "domore", modeSet: true, engine: "speccross", wantErr: true},
+		// The unset -mode default must not conflict with an explicit -engine.
+		{name: "default mode with engine", mode: "all", engine: "barrier", want: "barrier"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := resolveMode(tc.mode, tc.modeSet, tc.engine)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("resolveMode = %q, want error", got)
+				}
+				if !strings.Contains(err.Error(), "disagree") {
+					t.Errorf("error %q does not explain the disagreement", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("resolveMode = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func compileFile(t *testing.T, path string) *core.Compiled {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(string(src))
+	if err != nil {
+		t.Fatalf("compile %s: %v", path, err)
+	}
+	return c
+}
+
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestReportGolden pins the -report format for the example programs.
+func TestReportGolden(t *testing.T) {
+	for _, name := range []string{"cg", "stencil"} {
+		t.Run(name, func(t *testing.T) {
+			c := compileFile(t, filepath.Join("..", "..", "examples", "compiler", name+".lnl"))
+			checkGolden(t, filepath.Join("testdata", name+".report.golden"), reportOutput(c))
+		})
+	}
+}
+
+// TestLintGolden pins the -lint output: empty (and exit-clean) for the
+// example programs, and the exact text and JSON diagnostics for a program
+// whose parfor annotation the verifier disproves.
+func TestLintGolden(t *testing.T) {
+	for _, name := range []string{"cg", "stencil"} {
+		t.Run(name, func(t *testing.T) {
+			c := compileFile(t, filepath.Join("..", "..", "examples", "compiler", name+".lnl"))
+			out, hasErrors, err := lintOutput(c, name+".lnl", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hasErrors {
+				t.Errorf("example %s has lint errors:\n%s", name, out)
+			}
+			checkGolden(t, filepath.Join("testdata", name+".lint.golden"), out)
+		})
+	}
+
+	c := compileFile(t, filepath.Join("testdata", "bad_parfor.lnl"))
+	out, hasErrors, err := lintOutput(c, "bad_parfor.lnl", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasErrors {
+		t.Error("bad_parfor.lnl linted clean")
+	}
+	checkGolden(t, filepath.Join("testdata", "bad_parfor.lint.golden"), out)
+
+	jsonText, hasErrors, err := lintOutput(c, "bad_parfor.lnl", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasErrors {
+		t.Error("JSON path lost the error severity")
+	}
+	checkGolden(t, filepath.Join("testdata", "bad_parfor.lint.json.golden"), jsonText)
+}

@@ -33,6 +33,9 @@ func (c *Compiled) RunAdaptive(region *ir.Loop, cfg adaptive.Config) (*AdaptiveR
 	if err != nil {
 		return nil, err
 	}
+	if err := verifySignaturePlan(c.Prog, region); err != nil {
+		return nil, err
+	}
 	res := &AdaptiveResult{Stats: adaptive.Run(v, cfg)}
 	if err := finish(env); err != nil {
 		return nil, err

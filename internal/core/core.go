@@ -112,6 +112,9 @@ func (c *Compiled) RunBarriers(region *ir.Loop, workers int) (*BarrierResult, er
 	if err != nil {
 		return nil, err
 	}
+	if err := verifySignaturePlan(c.Prog, region); err != nil {
+		return nil, err
+	}
 	bar := speccross.RunBarriers(r, workers)
 	if err := finish(env); err != nil {
 		return nil, err
@@ -131,6 +134,9 @@ type DomoreResult struct {
 func (c *Compiled) RunDOMORE(region *ir.Loop, workers int) (*DomoreResult, error) {
 	par, err := mtcg.Transform(c.Prog, c.Dep, region, slice.Options{})
 	if err != nil {
+		return nil, err
+	}
+	if err := verifyDomorePlan(par); err != nil {
 		return nil, err
 	}
 	env, finish, err := c.runOutside(region)
@@ -193,6 +199,9 @@ func (c *Compiled) RunSpecCross(region *ir.Loop, cfg speccross.Config, profile b
 	}
 	r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
 	if err != nil {
+		return nil, err
+	}
+	if err := verifySignaturePlan(c.Prog, region); err != nil {
 		return nil, err
 	}
 	res.Stats = speccross.Run(r, cfg)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"crossinv/internal/analysis/verify"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+	"crossinv/internal/transform/advisor"
+	"crossinv/internal/transform/mtcg"
+)
+
+// Lint runs the static plan verifier over the whole program: every
+// candidate region's derived parallelization plan (partition, slices, MTCG
+// communication, signature instrumentation) and every loop's advisor
+// classification. The returned list is sorted; callers attach the file name
+// with diag.List.WithFile.
+func (c *Compiled) Lint() diag.List {
+	var out diag.List
+	for _, region := range c.Regions {
+		out = append(out, verify.Region(c.Prog, c.Dep, region)...)
+	}
+	for _, l := range c.Prog.Loops {
+		rec := advisor.Advise(c.Prog, c.Dep, l)
+		out = append(out, verify.Advisor(c.Prog, c.Dep, l, rec)...)
+	}
+	out.Sort()
+	return out
+}
+
+// verifyDomorePlan is the always-on gate before a DOMORE execution: the
+// partition, slice, and MTCG checks over the transformed region. The checks
+// are pure static passes over structures the transform already built, so
+// the cost is negligible next to running the region.
+func verifyDomorePlan(par *mtcg.Parallelized) error {
+	var list diag.List
+	list = append(list, verify.Partition(par.Part)...)
+	for _, inner := range par.Part.Inners {
+		list = append(list, verify.Slice(par.Prog, par.Part, par.Slices[inner])...)
+	}
+	list = append(list, verify.MTCG(par)...)
+	if errs := list.Errors(); len(errs) > 0 {
+		errs.Sort()
+		return fmt.Errorf("core: DOMORE plan failed verification:\n%s", errs.Text())
+	}
+	return nil
+}
+
+// verifySignaturePlan is the always-on gate before any speculative or
+// barrier execution built on speccrossgen: the signature-coverage and
+// epoch-boundary checks for the region.
+func verifySignaturePlan(p *ir.Program, region *ir.Loop) error {
+	list := verify.Signatures(p, region, verify.SignaturePlanFor(region))
+	if errs := list.Errors(); len(errs) > 0 {
+		errs.Sort()
+		return fmt.Errorf("core: speculative region failed verification:\n%s", errs.Text())
+	}
+	return nil
+}

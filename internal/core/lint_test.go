@@ -1,0 +1,42 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLintCorpusClean asserts the static plan verifier accepts every plan
+// the pipeline itself emits: the whole corpus (and the examples) must lint
+// without a single diagnostic — the verifier exists to catch corrupted
+// plans, not to second-guess correct ones.
+func TestLintCorpusClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.lnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := filepath.Glob(filepath.Join("..", "..", "examples", "compiler", "*.lnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, more...)
+	if len(files) < 8 {
+		t.Fatalf("found only %d programs to lint", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if list := c.Lint(); len(list) != 0 {
+				t.Errorf("lint diagnostics on a pipeline-emitted plan:\n%s", list.Text())
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Package diag is the diagnostics layer the static plan verifier (and any
+// future analysis pass) reports through: a diagnostic carries the check that
+// produced it, a severity, a source position (from the lexer tokens threaded
+// through the IR), and a human-readable message. Lists render either as
+// compiler-style text ("file:line:col: severity: [check] message") or as
+// JSON for tooling (the `crossinv -lint -json` output).
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"crossinv/internal/lang/token"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the severity name as rendered in text and JSON output.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one finding of an analysis pass.
+type Diagnostic struct {
+	// Check names the verifier check that produced the finding
+	// (e.g. "partition", "slice", "mtcg", "signature", "advisor").
+	Check    string
+	Severity Severity
+	// File is the source file name, when known (the CLI fills it in;
+	// library callers may leave it empty).
+	File string
+	// Pos is the source position of the offending construct; the zero Pos
+	// means the finding has no single source anchor.
+	Pos token.Pos
+	Msg string
+}
+
+// String renders the diagnostic in compiler style:
+//
+//	file:line:col: severity: [check] message
+//
+// The file: prefix is omitted when File is empty, and the position when it
+// is the zero Pos.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" {
+		b.WriteString(d.File)
+		b.WriteByte(':')
+	}
+	if d.Pos.Line != 0 {
+		fmt.Fprintf(&b, "%s: ", d.Pos)
+	} else if d.File != "" {
+		b.WriteByte(' ')
+	}
+	fmt.Fprintf(&b, "%s: [%s] %s", d.Severity, d.Check, d.Msg)
+	return b.String()
+}
+
+// jsonDiagnostic is the stable wire form of a Diagnostic (documented in the
+// README; field names are part of the -lint -json contract).
+type jsonDiagnostic struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// MarshalJSON implements json.Marshaler with the documented wire format.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonDiagnostic{
+		Check:    d.Check,
+		Severity: d.Severity.String(),
+		File:     d.File,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Col,
+		Message:  d.Msg,
+	})
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// Add appends a diagnostic built from its parts.
+func (l *List) Add(check string, sev Severity, pos token.Pos, format string, args ...any) {
+	*l = append(*l, Diagnostic{
+		Check: check, Severity: sev, Pos: pos, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Errorf appends an error-severity diagnostic.
+func (l *List) Errorf(check string, pos token.Pos, format string, args ...any) {
+	l.Add(check, Error, pos, format, args...)
+}
+
+// Warningf appends a warning-severity diagnostic.
+func (l *List) Warningf(check string, pos token.Pos, format string, args ...any) {
+	l.Add(check, Warning, pos, format, args...)
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the Error-severity diagnostics.
+func (l List) Errors() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WithFile returns a copy with every diagnostic's File set to name.
+func (l List) WithFile(name string) List {
+	out := make(List, len(l))
+	for i, d := range l {
+		d.File = name
+		out[i] = d
+	}
+	return out
+}
+
+// Sort orders diagnostics by position, then check, then message, so output
+// is deterministic regardless of check execution order.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Text renders the list one diagnostic per line.
+func (l List) Text() string {
+	var b strings.Builder
+	for _, d := range l {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON renders the list as an indented JSON array (an empty list renders as
+// "[]", not "null", so consumers can always range over it).
+func (l List) JSON() ([]byte, error) {
+	if l == nil {
+		l = List{}
+	}
+	return json.MarshalIndent(l, "", "  ")
+}

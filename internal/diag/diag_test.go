@@ -1,0 +1,94 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"crossinv/internal/lang/token"
+)
+
+func TestStringForms(t *testing.T) {
+	d := Diagnostic{
+		Check: "partition", Severity: Error,
+		File: "a.lnl", Pos: token.Pos{Line: 3, Col: 7},
+		Msg: "dependence flows worker -> scheduler",
+	}
+	if got, want := d.String(), "a.lnl:3:7: error: [partition] dependence flows worker -> scheduler"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d.File = ""
+	if got, want := d.String(), "3:7: error: [partition] dependence flows worker -> scheduler"; got != want {
+		t.Errorf("no-file String() = %q, want %q", got, want)
+	}
+	d.Pos = token.Pos{}
+	if got, want := d.String(), "error: [partition] dependence flows worker -> scheduler"; got != want {
+		t.Errorf("no-pos String() = %q, want %q", got, want)
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	var l List
+	l.Warningf("mtcg", token.Pos{Line: 9, Col: 1}, "forwarded live-in %q never consumed", "x")
+	if l.HasErrors() {
+		t.Error("warning-only list reports errors")
+	}
+	l.Errorf("slice", token.Pos{Line: 2, Col: 4}, "store in computeAddr")
+	if !l.HasErrors() {
+		t.Error("list with an error does not report errors")
+	}
+	if n := len(l.Errors()); n != 1 {
+		t.Errorf("Errors() kept %d diagnostics, want 1", n)
+	}
+	l.Sort()
+	if l[0].Check != "slice" {
+		t.Errorf("Sort() put %q first, want slice (earlier position)", l[0].Check)
+	}
+	withFile := l.WithFile("prog.lnl")
+	for _, d := range withFile {
+		if d.File != "prog.lnl" {
+			t.Errorf("WithFile left File = %q", d.File)
+		}
+	}
+	if l[0].File != "" {
+		t.Error("WithFile mutated the receiver")
+	}
+	text := l.Text()
+	if !strings.Contains(text, "[slice]") || !strings.Contains(text, "[mtcg]") {
+		t.Errorf("Text() missing checks:\n%s", text)
+	}
+}
+
+func TestJSONWireFormat(t *testing.T) {
+	l := List{{
+		Check: "signature", Severity: Warning,
+		File: "p.lnl", Pos: token.Pos{Line: 11, Col: 5},
+		Msg: "nested parfor executes sequentially inside a task",
+	}}
+	raw, err := l.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	d := decoded[0]
+	for k, want := range map[string]any{
+		"check": "signature", "severity": "warning", "file": "p.lnl",
+		"line": float64(11), "col": float64(5),
+		"message": "nested parfor executes sequentially inside a task",
+	} {
+		if d[k] != want {
+			t.Errorf("JSON field %q = %v, want %v", k, d[k], want)
+		}
+	}
+
+	empty, err := List(nil).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]" {
+		t.Errorf("nil list JSON = %q, want []", empty)
+	}
+}

@@ -1,0 +1,92 @@
+package ir
+
+import (
+	"testing"
+
+	"crossinv/internal/lang/parser"
+)
+
+// TestNoZeroPositions lowers a program exercising every construct (loops,
+// parfors, conditionals, nested nests, unary minus, comparisons) and
+// asserts every region instruction — and every loop and branch node —
+// carries a source position, so diagnostics can always point at a line.
+func TestNoZeroPositions(t *testing.T) {
+	astProg, err := parser.Parse(`func f() {
+		var A[64], B[64]
+		for i = 0 .. 8 {
+			s = i * 2 + 1
+			parfor j = s .. s + 8 {
+				if A[j] > -3 {
+					A[j] = B[j] % 7 - s
+				} else {
+					for k = 0 .. 2 {
+						B[j] = B[j] + k
+					}
+				}
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range p.Instrs {
+		if in.Pos.Line == 0 {
+			t.Errorf("instruction %d (%s) has no source position", in.ID, in)
+		}
+	}
+	var walk func(nodes []Node)
+	walk = func(nodes []Node) {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *Loop:
+				if n.Pos.Line == 0 {
+					t.Errorf("loop %q has no source position", n.Var)
+				}
+				walk(n.Body)
+			case *If:
+				if n.Pos.Line == 0 {
+					t.Error("if node has no source position")
+				}
+				walk(n.Then)
+				walk(n.Else)
+			}
+		}
+	}
+	walk(p.Body)
+}
+
+// TestBinOperatorPosition pins the operator-position threading: the lowered
+// arithmetic instruction points at the operator token, not the left operand.
+func TestBinOperatorPosition(t *testing.T) {
+	astProg, err := parser.Parse(`func f() {
+	var A[8]
+	parfor i = 0 .. 8 {
+		A[i] = A[i] + 3
+	}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range p.Instrs {
+		if in.Op == Add {
+			found = true
+			// "A[i] = A[i] + 3": the + sits on line 4 column 15, past the
+			// left operand's column 10.
+			if in.Pos.Line != 4 || in.Pos.Col != 15 {
+				t.Errorf("add instruction at %s, want 4:15 (the operator token)", in.Pos)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Add instruction lowered")
+	}
+}

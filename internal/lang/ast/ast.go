@@ -144,8 +144,17 @@ func (o Op) String() string { return opNames[o] }
 type Bin struct {
 	Op   Op
 	L, R Expr
+	// OpPos is the operator token's position; diagnostics for the lowered
+	// arithmetic instruction point here rather than at the left operand.
+	OpPos token.Pos
 }
 
-// Pos implements Node.
-func (b *Bin) Pos() token.Pos { return b.L.Pos() }
+// Pos implements Node. It prefers the operator's own position and falls
+// back to the left operand for synthesized nodes without one.
+func (b *Bin) Pos() token.Pos {
+	if b.OpPos.Line != 0 {
+		return b.OpPos
+	}
+	return b.L.Pos()
+}
 func (b *Bin) expr()          {}

@@ -252,12 +252,12 @@ func (p *parser) expr() (ast.Expr, error) {
 		return nil, err
 	}
 	if op, ok := cmpOps[p.cur().Kind]; ok {
-		p.next()
+		opPos := p.next().Pos
 		r, err := p.sum()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Bin{Op: op, L: l, R: r}, nil
+		return &ast.Bin{Op: op, L: l, R: r, OpPos: opPos}, nil
 	}
 	return l, nil
 }
@@ -277,12 +277,12 @@ func (p *parser) sum() (ast.Expr, error) {
 		default:
 			return l, nil
 		}
-		p.next()
+		opPos := p.next().Pos
 		r, err := p.term()
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.Bin{Op: op, L: l, R: r}
+		l = &ast.Bin{Op: op, L: l, R: r, OpPos: opPos}
 	}
 }
 
@@ -303,12 +303,12 @@ func (p *parser) term() (ast.Expr, error) {
 		default:
 			return l, nil
 		}
-		p.next()
+		opPos := p.next().Pos
 		r, err := p.unary()
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.Bin{Op: op, L: l, R: r}
+		l = &ast.Bin{Op: op, L: l, R: r, OpPos: opPos}
 	}
 }
 
@@ -319,7 +319,7 @@ func (p *parser) unary() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Bin{Op: ast.Sub, L: &ast.Num{Value: 0, NumPos: pos}, R: e}, nil
+		return &ast.Bin{Op: ast.Sub, L: &ast.Num{Value: 0, NumPos: pos}, R: e, OpPos: pos}, nil
 	}
 	return p.primary()
 }

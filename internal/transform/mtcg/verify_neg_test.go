@@ -1,0 +1,77 @@
+package mtcg_test
+
+import (
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/verify"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/transform/mtcg"
+	"crossinv/internal/transform/slice"
+)
+
+func transformStencil(t *testing.T) *mtcg.Parallelized {
+	t.Helper()
+	astProg, err := parser.Parse(`func f() {
+		var A[256], B[257]
+		for t = 0 .. 40 {
+			parfor i = 0 .. 256 {
+				A[i] = B[i] * 3 + B[i+1]
+			}
+			parfor j = 1 .. 257 {
+				B[j] = A[j-1] % 1009 + t
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mtcg.Transform(p, depend.Analyze(p), p.Loops[0], slice.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return par
+}
+
+func wantMTCGError(t *testing.T, par *mtcg.Parallelized, c verify.Corruption) {
+	t.Helper()
+	list := verify.MTCG(par)
+	for _, d := range list {
+		if d.Severity == diag.Error && d.Check == verify.CheckMTCG && d.Pos == c.Pos {
+			return
+		}
+	}
+	t.Fatalf("corruption %q not flagged at %s:\n%s", c.Name, c.Pos, list.Text())
+}
+
+// TestVerifierCatchesDroppedProduce seeds the "dropped produce" bug — a
+// live-in the scheduler never forwards (here the timestep scalar t) — and
+// asserts the verifier reports the read that would see a stale value.
+func TestVerifierCatchesDroppedProduce(t *testing.T) {
+	par := transformStencil(t)
+	if list := verify.MTCG(par); len(list) != 0 {
+		t.Fatalf("clean transform flagged:\n%s", list.Text())
+	}
+	c, ok := verify.CorruptDropLiveIn(par)
+	if !ok {
+		t.Fatal("no live-in to drop")
+	}
+	wantMTCGError(t, par, c)
+}
+
+// TestVerifierCatchesDuplicateProduce seeds a live-in forwarded twice,
+// which would give its queue two producers (SPSC violation).
+func TestVerifierCatchesDuplicateProduce(t *testing.T) {
+	par := transformStencil(t)
+	c, ok := verify.CorruptDuplicateLiveIn(par)
+	if !ok {
+		t.Fatal("no live-in to duplicate")
+	}
+	wantMTCGError(t, par, c)
+}

@@ -1,0 +1,53 @@
+package partition_test
+
+import (
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/verify"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/transform/partition"
+)
+
+// TestVerifierCatchesWidenedScheduler seeds the "widened scheduler" bug —
+// a worker instruction reassigned to the scheduler despite a worker-side
+// dependence feeding it — and asserts the static plan verifier flags the
+// partition at the corrupted instruction's source position.
+func TestVerifierCatchesWidenedScheduler(t *testing.T) {
+	astProg, err := parser.Parse(`func f() {
+		var C[120], IDX[400]
+		for i = 0 .. 40 {
+			parfor j = 0 .. 100 {
+				C[IDX[j]] = C[IDX[j]] * 3 + j
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Compute(p, depend.Analyze(p), p.Loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := verify.Partition(part); len(list) != 0 {
+		t.Fatalf("clean partition flagged:\n%s", list.Text())
+	}
+
+	c, ok := verify.CorruptWidenScheduler(part)
+	if !ok {
+		t.Fatal("no worker→worker hard edge to corrupt")
+	}
+	list := verify.Partition(part)
+	for _, d := range list {
+		if d.Severity == diag.Error && d.Check == verify.CheckPartition && d.Pos == c.Pos {
+			return
+		}
+	}
+	t.Fatalf("widened scheduler not flagged at %s:\n%s", c.Pos, list.Text())
+}

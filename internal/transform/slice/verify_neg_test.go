@@ -1,0 +1,81 @@
+package slice_test
+
+import (
+	"testing"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/verify"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+	"crossinv/internal/transform/partition"
+	"crossinv/internal/transform/slice"
+)
+
+func cleanSlice(t *testing.T) (*ir.Program, *partition.Result, *slice.ComputeAddr) {
+	t.Helper()
+	astProg, err := parser.Parse(`func f() {
+		var C[120], IDX[400]
+		for i = 0 .. 40 {
+			parfor j = 0 .. 100 {
+				C[IDX[j]] = C[IDX[j]] * 3 + j
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := depend.Analyze(p)
+	part, err := partition.Compute(p, dep, p.Loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := part.Inners[0]
+	ca, err := slice.Generate(p, dep, inner, map[string]bool{"C": true}, slice.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, part, ca
+}
+
+func wantSliceError(t *testing.T, p *ir.Program, part *partition.Result, ca *slice.ComputeAddr, c verify.Corruption) {
+	t.Helper()
+	list := verify.Slice(p, part, ca)
+	for _, d := range list {
+		if d.Severity == diag.Error && d.Check == verify.CheckSlice && d.Pos == c.Pos {
+			return
+		}
+	}
+	t.Fatalf("corruption %q not flagged at %s:\n%s", c.Name, c.Pos, list.Text())
+}
+
+// TestVerifierCatchesStoreInSlice seeds the §3.3.4 violation slice.Generate
+// refuses to emit — a store moved into the computeAddr slice — and asserts
+// the verifier flags it at the store's position.
+func TestVerifierCatchesStoreInSlice(t *testing.T) {
+	p, part, ca := cleanSlice(t)
+	if list := verify.Slice(p, part, ca); len(list) != 0 {
+		t.Fatalf("clean slice flagged:\n%s", list.Text())
+	}
+	c, ok := verify.CorruptStoreIntoSlice(ca)
+	if !ok {
+		t.Fatal("no store to move into the slice")
+	}
+	wantSliceError(t, p, part, ca, c)
+}
+
+// TestVerifierCatchesDroppedAddress seeds a tracked access removed from the
+// slice's address map — an access whose address would never reach shadow
+// memory — and asserts the verifier flags that access.
+func TestVerifierCatchesDroppedAddress(t *testing.T) {
+	p, part, ca := cleanSlice(t)
+	c, ok := verify.CorruptDropAddr(p, ca)
+	if !ok {
+		t.Fatal("slice tracks no addresses")
+	}
+	wantSliceError(t, p, part, ca, c)
+}

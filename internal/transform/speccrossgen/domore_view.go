@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"crossinv/internal/analysis/verify"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
 )
@@ -134,9 +135,11 @@ func (a *addrReplayEnv) replay(inv, iter int, buf []uint64) []uint64 {
 
 // checkAddrIndependence taints every register holding a value loaded from a
 // parallel-written array and propagates the taint through registers and
-// scalar variables to a fixpoint. If taint reaches an address operand
-// (Load/Store index), a branch condition, or a nested loop bound inside a
-// parallel body, the address set cannot be precomputed by the scheduler.
+// scalar variables to a fixpoint (the shared verify.TaintFromArrays pass,
+// which the static plan verifier also uses for slice purity). If taint
+// reaches an address operand (Load/Store index), a branch condition, or a
+// nested loop bound inside a parallel body, the address set cannot be
+// precomputed by the scheduler.
 func checkAddrIndependence(r *Region) error {
 	parallelWrites := map[string]bool{}
 	var body []*ir.Instr
@@ -152,43 +155,8 @@ func checkAddrIndependence(r *Region) error {
 		return nil
 	}
 
-	taintReg := map[ir.Reg]bool{}
-	taintVar := map[string]bool{}
-	// Fixpoint: taint can round-trip through scalar variables across
-	// instruction order (and across tasks of one body), so iterate until
-	// nothing new is tainted.
-	for changed := true; changed; {
-		changed = false
-		mark := func(reg ir.Reg, ok bool) bool { return ok && !taintReg[reg] }
-		for _, in := range body {
-			switch in.Op {
-			case ir.Load:
-				if mark(in.Dst, parallelWrites[in.Array]) {
-					taintReg[in.Dst] = true
-					changed = true
-				}
-			case ir.ReadVar:
-				if mark(in.Dst, taintVar[in.Var]) {
-					taintReg[in.Dst] = true
-					changed = true
-				}
-			case ir.WriteVar:
-				if taintReg[in.A] && !taintVar[in.Var] {
-					taintVar[in.Var] = true
-					changed = true
-				}
-			case ir.Store, ir.Const:
-				// Stores don't define registers, and Const reads no operand
-				// registers (its A/B fields are zero-valued, not register 0
-				// uses); loads of the array are the taint source.
-			default:
-				if mark(in.Dst, taintReg[in.A] || taintReg[in.B]) {
-					taintReg[in.Dst] = true
-					changed = true
-				}
-			}
-		}
-	}
+	t := verify.TaintFromArrays(body, parallelWrites)
+	taintReg := t.Reg
 
 	// Address operands of every access.
 	for _, in := range body {

@@ -1,0 +1,52 @@
+package speccrossgen_test
+
+import (
+	"testing"
+
+	"crossinv/internal/analysis/verify"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+	"crossinv/internal/lang/parser"
+)
+
+// TestVerifierCatchesDroppedInstrumentation seeds the "uninstrumented
+// access" bug — a load or store removed from the signature plan, so the
+// conflict checker would never see its address — and asserts the verifier
+// flags the access in a SPECCROSS region.
+func TestVerifierCatchesDroppedInstrumentation(t *testing.T) {
+	astProg, err := parser.Parse(`func f() {
+		var A[256], B[257]
+		for t = 0 .. 40 {
+			parfor i = 0 .. 256 {
+				A[i] = B[i] * 3 + B[i+1]
+			}
+			parfor j = 1 .. 257 {
+				B[j] = A[j-1] % 1009 + t
+			}
+		}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Lower(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Loops[0]
+	plan := verify.SignaturePlanFor(outer)
+	if list := verify.Signatures(p, outer, plan); len(list) != 0 {
+		t.Fatalf("clean region flagged:\n%s", list.Text())
+	}
+
+	c, ok := verify.CorruptDropInstrumentation(p, plan)
+	if !ok {
+		t.Fatal("instrumentation plan is empty")
+	}
+	list := verify.Signatures(p, outer, plan)
+	for _, d := range list {
+		if d.Severity == diag.Error && d.Check == verify.CheckSignature && d.Pos == c.Pos {
+			return
+		}
+	}
+	t.Fatalf("dropped instrumentation not flagged at %s:\n%s", c.Pos, list.Text())
+}

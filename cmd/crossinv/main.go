@@ -19,10 +19,17 @@
 //	-profile  run the §4.4 profiling pass before speculating (speccross)
 //	-ckpt     SPECCROSS checkpoint period in epochs (default 1000)
 //	-window   adaptive monitoring window in epochs (0: runtime default)
+//	-trace    write a Chrome trace_event JSON of the run to FILE (single
+//	          engine modes only; load via chrome://tracing or Perfetto)
+//	-metrics  print the metrics registry and per-thread timeline after the
+//	          run (single engine modes only)
+//	-misspec  inject a misspeculation at epoch N (speccross/adaptive)
 //
-// Example:
+// Examples:
 //
 //	crossinv -mode all -workers 8 examples/compiler/stencil.lnl
+//	crossinv -mode domore -trace out.json -metrics examples/compiler/cg.lnl
+//	crossinv -mode speccross -misspec 2 -trace spec.json examples/compiler/cg.lnl
 package main
 
 import (
@@ -35,8 +42,10 @@ import (
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
 	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/runtime/trace"
 	"crossinv/internal/sim"
 	"crossinv/internal/transform/speccrossgen"
 )
@@ -54,6 +63,10 @@ var (
 	ckpt    = flag.Int("ckpt", 1000, "speccross checkpoint period (epochs)")
 	window  = flag.Int("window", 0, "adaptive monitoring window in epochs (0: runtime default)")
 	sweep   = flag.Bool("sweep", false, "print a 2..24-thread virtual-time scalability sweep and exit")
+
+	traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	metrics   = flag.Bool("metrics", false, "print the metrics registry and per-thread timeline after the run")
+	misspec   = flag.Int("misspec", 0, "inject a misspeculation at this epoch (speccross/adaptive)")
 )
 
 func main() {
@@ -123,6 +136,21 @@ func main() {
 		return
 	}
 
+	observing := *traceFile != "" || *metrics
+	if observing || *misspec > 0 {
+		switch *mode {
+		case "all", "seq":
+			fatal(fmt.Errorf("-trace/-metrics/-misspec need a single engine mode, not -mode %s", *mode))
+		}
+	}
+	if *misspec > 0 && *mode != "speccross" && *mode != "adaptive" {
+		fatal(fmt.Errorf("-misspec applies only to -mode speccross or adaptive, not %s", *mode))
+	}
+	var rec *trace.Recorder
+	if observing {
+		rec = trace.NewRecorder()
+	}
+
 	seqEnv, err := c.RunSequential()
 	if err != nil {
 		fatal(err)
@@ -139,7 +167,7 @@ func main() {
 		var got uint64
 		switch m {
 		case "barrier":
-			res, err := c.RunBarriers(target, *workers)
+			res, err := c.RunBarriersTraced(target, *workers, rec)
 			if err != nil {
 				fmt.Printf("%-10s inapplicable: %v\n", m, err)
 				return
@@ -149,7 +177,7 @@ func main() {
 			fmt.Printf("%-10s checksum %016x  %v  (barrier waits %d, idle %v)\n",
 				m, got, time.Since(start).Round(time.Microsecond), waits, idle.Round(time.Microsecond))
 		case "domore":
-			res, err := c.RunDOMORE(target, *workers)
+			res, err := c.RunDOMOREOpts(target, domore.Options{Workers: *workers, Trace: rec})
 			if err != nil {
 				fmt.Printf("%-10s inapplicable: %v\n", m, err)
 				return
@@ -161,6 +189,7 @@ func main() {
 		case "speccross":
 			res, err := c.RunSpecCross(target, speccross.Config{
 				Workers: *workers, CheckpointEvery: *ckpt,
+				ForceMisspecEpoch: *misspec, Trace: rec,
 			}, *profile)
 			if err != nil {
 				fmt.Printf("%-10s inapplicable: %v\n", m, err)
@@ -171,7 +200,9 @@ func main() {
 				m, got, time.Since(start).Round(time.Microsecond),
 				res.Stats.Tasks, res.Stats.Misspeculations, res.Stats.Checkpoints)
 		case "adaptive":
-			res, err := c.RunAdaptive(target, adaptive.Config{Workers: *workers, Window: *window})
+			acfg := adaptive.Config{Workers: *workers, Window: *window, Trace: rec}
+			acfg.Spec.ForceMisspecEpoch = *misspec
+			res, err := c.RunAdaptive(target, acfg)
 			if err != nil {
 				fmt.Printf("%-10s inapplicable: %v\n", m, err)
 				return
@@ -200,6 +231,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+
+	if rec != nil {
+		if err := exportTrace(rec, *traceFile, *metrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportTrace writes the recorder's Chrome trace_event JSON to file (when
+// file is non-empty) and prints the metrics registry plus the per-thread
+// timeline to stdout (when metrics is set).
+func exportTrace(rec *trace.Recorder, file string, metrics bool) error {
+	if file != "" {
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		sum := rec.Summary()
+		fmt.Printf("trace: %s (%d events, %d dropped, %d lanes)\n", file, sum.Events, sum.Dropped, sum.Lanes)
+	}
+	if metrics {
+		fmt.Println("metrics:")
+		if err := rec.Metrics().WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("timeline:")
+		if err := rec.WriteTimeline(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // resolveMode reconciles -mode and -engine: -engine is an alias of -mode,

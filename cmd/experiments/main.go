@@ -13,6 +13,7 @@
 //	experiments fig5.4         # best speedups vs previous work
 //	experiments fig5.6         # FLUIDANIMATE case study
 //	experiments figA.1         # adaptive engine selection on the phase-shifting workload
+//	experiments breakdown      # trace-derived stall/check/recovery time breakdown
 //
 // Speedup series are produced by the virtual-time simulator driven by each
 // workload's recorded trace (see DESIGN.md substitution 1); counter tables
@@ -66,13 +67,14 @@ func main() {
 		"fig5.2":   fig52,
 		"fig5.3":   fig53,
 		"fig5.4":   fig54,
-		"fig5.6":   fig56,
-		"figA.1":   figA1,
+		"fig5.6":    fig56,
+		"figA.1":    figA1,
+		"breakdown": breakdown,
 	}
 	order := []string{
 		"table5.1", "fig3.3", "fig4.3", "fig5.1", "table5.2",
 		"fig5.2", "fig5.3", "table5.3", "fig5.4", "fig5.6",
-		"figA.1",
+		"figA.1", "breakdown",
 	}
 	for _, a := range args {
 		if a == "all" {

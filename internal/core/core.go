@@ -19,6 +19,7 @@ import (
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/runtime/trace"
 	"crossinv/internal/transform/advisor"
 	"crossinv/internal/transform/mtcg"
 	"crossinv/internal/transform/slice"
@@ -104,6 +105,12 @@ type BarrierResult struct {
 // classic way: inner loops split across workers, a barrier between
 // invocations (Fig 1.3(b)).
 func (c *Compiled) RunBarriers(region *ir.Loop, workers int) (*BarrierResult, error) {
+	return c.RunBarriersTraced(region, workers, nil)
+}
+
+// RunBarriersTraced is RunBarriers with event tracing into rec (nil rec
+// is equivalent to RunBarriers).
+func (c *Compiled) RunBarriersTraced(region *ir.Loop, workers int, rec *trace.Recorder) (*BarrierResult, error) {
 	env, finish, err := c.runOutside(region)
 	if err != nil {
 		return nil, err
@@ -115,7 +122,7 @@ func (c *Compiled) RunBarriers(region *ir.Loop, workers int) (*BarrierResult, er
 	if err := verifySignaturePlan(c.Prog, region); err != nil {
 		return nil, err
 	}
-	bar := speccross.RunBarriers(r, workers)
+	bar := speccross.RunBarriersTraced(r, workers, rec)
 	if err := finish(env); err != nil {
 		return nil, err
 	}
@@ -132,6 +139,12 @@ type DomoreResult struct {
 // RunDOMORE executes the program with the region transformed by the DOMORE
 // pipeline (partition → slice → MTCG → runtime).
 func (c *Compiled) RunDOMORE(region *ir.Loop, workers int) (*DomoreResult, error) {
+	return c.RunDOMOREOpts(region, domore.Options{Workers: workers})
+}
+
+// RunDOMOREOpts is RunDOMORE with full control over the runtime options
+// (queue capacity, scheduling policy, event tracing via opts.Trace).
+func (c *Compiled) RunDOMOREOpts(region *ir.Loop, opts domore.Options) (*DomoreResult, error) {
 	par, err := mtcg.Transform(c.Prog, c.Dep, region, slice.Options{})
 	if err != nil {
 		return nil, err
@@ -143,7 +156,7 @@ func (c *Compiled) RunDOMORE(region *ir.Loop, workers int) (*DomoreResult, error
 	if err != nil {
 		return nil, err
 	}
-	stats, err := par.Run(env, domore.Options{Workers: workers})
+	stats, err := par.Run(env, opts)
 	if err != nil {
 		return nil, err
 	}

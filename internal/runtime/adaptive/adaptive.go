@@ -26,6 +26,7 @@ import (
 	"crossinv/internal/runtime/shadow"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/runtime/trace"
 )
 
 // Workload is a code region executable under every engine: one workload
@@ -103,6 +104,15 @@ type Config struct {
 	// are overridden per window (each window is one checkpoint segment, so
 	// a misspeculating window rolls back exactly to its own start).
 	Spec speccross.Config
+	// Trace, when non-nil, is shared by the controller and every engine
+	// window: the controller emits window-begin and engine-switch events
+	// on trace.LaneControl, and each window's engine emits its usual
+	// stream (lanes persist across windows; the boundary quiesce makes
+	// the handoff safe). When set, the per-window monitor Sample is
+	// derived from trace-event deltas rather than from engine Stats, so
+	// the policy's inputs come from the same observability stream that
+	// export and metrics use.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fill() {
@@ -146,6 +156,7 @@ func Run(w Workload, cfg Config) Stats {
 	}
 
 	var stats Stats
+	ctl := cfg.Trace.Lane(trace.LaneControl)
 	engine := cfg.Start
 	for lo := 0; lo < epochs; {
 		hi := lo + cfg.Window
@@ -157,10 +168,12 @@ func Run(w Workload, cfg Config) Stats {
 		}
 		win := &window{w: w, lo: lo, hi: hi}
 		sample := Sample{Engine: engine, StartEpoch: lo, EndEpoch: hi}
+		ctl.Emit(trace.KindWindowBegin, int64(lo), int64(hi), int64(engine))
+		before := cfg.Trace.Summary()
 
 		switch engine {
 		case EngineBarrier:
-			speccross.RunBarriers(win, cfg.Workers)
+			speccross.RunBarriersTraced(win, cfg.Workers, cfg.Trace)
 			for e := lo; e < hi; e++ {
 				sample.Tasks += int64(w.Tasks(e))
 			}
@@ -168,6 +181,7 @@ func Run(w Workload, cfg Config) Stats {
 			opts := cfg.Domore
 			opts.Workers = cfg.Workers
 			opts.Shadow = shadow.NewSparse()
+			opts.Trace = cfg.Trace
 			st := domore.Run(win, opts)
 			addDomore(&stats.Domore, st)
 			sample.Tasks = st.Iterations
@@ -178,6 +192,7 @@ func Run(w Workload, cfg Config) Stats {
 			sc := cfg.Spec
 			sc.Workers = cfg.Workers
 			sc.CheckpointEvery = hi - lo
+			sc.Trace = cfg.Trace
 			// The template's epoch-indexed knobs are absolute; the window
 			// view re-bases epochs to 0, so shift them accordingly.
 			if of := cfg.Spec.SpecDistanceOf; of != nil {
@@ -208,6 +223,13 @@ func Run(w Workload, cfg Config) Stats {
 			panic(fmt.Sprintf("adaptive: unknown engine %v", engine))
 		}
 
+		if ctl.Enabled() {
+			// The monitor refactor: with tracing on, the policy's inputs
+			// come from the event stream (exact Summary deltas over the
+			// quiescent window boundary), not from engine Stats.
+			applyTraceSample(&sample, engine, before, cfg.Trace.Summary())
+		}
+
 		stats.Windows++
 		stats.EngineWindows[engine]++
 		stats.Samples = append(stats.Samples, sample)
@@ -218,11 +240,37 @@ func Run(w Workload, cfg Config) Stats {
 		}
 		if next != engine {
 			stats.Switches++
+			ctl.Emit(trace.KindEngineSwitch, int64(engine), int64(next), int64(hi))
 		}
 		engine = next
 		lo = hi
 	}
 	return stats
+}
+
+// applyTraceSample overwrites the monitor fields of sample with values
+// derived from the window's trace-event deltas. The mapping mirrors the
+// Stats-based derivation exactly: DOMORE's manifest rate is sync
+// conditions per scheduled iteration, SPECCROSS's checker pressure is
+// signature comparisons per committed task, and a window misspeculated
+// iff a misspec event fired inside it.
+func applyTraceSample(sample *Sample, engine Engine, before, after trace.Summary) {
+	d := func(k trace.Kind) int64 { return after.Counts[k] - before.Counts[k] }
+	switch engine {
+	case EngineBarrier:
+		sample.Tasks = d(trace.KindIterEnd)
+	case EngineDomore:
+		sample.Tasks = d(trace.KindSchedule)
+		if sample.Tasks > 0 {
+			sample.ManifestRate = float64(d(trace.KindSyncCond)) / float64(sample.Tasks)
+		}
+	case EngineSpecCross:
+		sample.Tasks = d(trace.KindTaskEnd)
+		sample.Misspeculated = d(trace.KindMisspec) > 0
+		if sample.Tasks > 0 {
+			sample.CheckerPressure = float64(d(trace.KindSigCheck)) / float64(sample.Tasks)
+		}
+	}
 }
 
 // window exposes the epoch range [lo, hi) of a workload as a standalone

@@ -19,13 +19,13 @@ package domore
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"crossinv/internal/runtime/queue"
 	"crossinv/internal/runtime/sched"
 	"crossinv/internal/runtime/shadow"
+	"crossinv/internal/runtime/trace"
 )
 
 // Workload is the code region DOMORE parallelizes: an outer loop whose body
@@ -72,6 +72,16 @@ type Options struct {
 	Shadow shadow.Store
 	// QueueCap is the per-worker condition-queue capacity (default 1024).
 	QueueCap int
+	// Trace, when non-nil, receives engine events: the scheduler emits on
+	// trace.LaneScheduler (per-invocation epoch spans, schedule/addr-check/
+	// sync-cond/dispatch records, queue-depth samples) and worker tid emits
+	// on lane tid (iteration spans, stall spans carrying the ⟨depTid,
+	// depIterNum⟩ condition, queue-empty backoff episodes). A nil Trace
+	// compiles the hot path down to nil-receiver no-ops. Only Run honors
+	// Trace; RunDuplicated and RunStealing ignore it — their replicated
+	// schedulers have no single scheduler lane, so their event streams
+	// would misattribute scheduling work (left to a future change).
+	Trace *trace.Recorder
 }
 
 func (o *Options) fill() {
@@ -158,7 +168,7 @@ func Run(w Workload, opts Options) Stats {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			worker(w, tid, queues[tid], latestFinished, &stats)
+			worker(w, tid, queues[tid], latestFinished, &stats, opts.Trace.Lane(int32(tid)))
 		}(tid)
 	}
 
@@ -180,6 +190,7 @@ func scheduler(w Workload, opts Options, queues []*queue.SPSC[cond], stats *Stat
 	nw := opts.Workers
 	shadowMem := opts.Shadow
 	owner, multiOwner := opts.Policy.(*sched.LocalWrite)
+	sch := opts.Trace.Lane(trace.LaneScheduler)
 
 	// Per-target pending dependence conditions for the current iteration,
 	// deduplicated to the newest iteration per (target, depTid) pair.
@@ -191,10 +202,13 @@ func scheduler(w Workload, opts Options, queues []*queue.SPSC[cond], stats *Stat
 	for inv := 0; inv < invocations; inv++ {
 		w.Sequential(inv)
 		iters := w.Iterations(inv)
+		sch.Emit(trace.KindEpochBegin, int64(inv), int64(inv+1), 0)
 		for it := 0; it < iters; it++ {
 			buf = w.ComputeAddr(inv, it, buf[:0])
 			addrs := buf
 			tids := opts.Policy.Assign(iterNum, addrs, nw)
+			sch.Emit(trace.KindSchedule, 1, int64(inv), iterNum)
+			sch.Emit(trace.KindAddrCheck, int64(len(addrs)), int64(inv), iterNum)
 			for _, t := range tids {
 				pending[t] = pending[t][:0]
 			}
@@ -214,18 +228,58 @@ func scheduler(w Workload, opts Options, queues []*queue.SPSC[cond], stats *Stat
 			}
 			for _, t := range tids {
 				for _, d := range pending[t] {
-					queues[t].Produce(d)
+					produce(queues[t], d, int64(t), sch)
 					stats.SyncConditions++
+					sch.Emit(trace.KindSyncCond, int64(t), int64(d.Tid), d.Iter)
 				}
-				queues[t].Produce(cond{Kind: kindRun, Iter: iterNum, Inv: int32(inv), Index: int32(it)})
+				produce(queues[t], cond{Kind: kindRun, Iter: iterNum, Inv: int32(inv), Index: int32(it)}, int64(t), sch)
 				stats.Dispatches++
+				sch.Emit(trace.KindDispatch, int64(t), iterNum, 0)
+				if sch.Enabled() {
+					sch.Emit(trace.KindQueueDepth, int64(queues[t].Len()), int64(t), 0)
+				}
 			}
 			stats.Iterations++
 			iterNum++
 		}
+		sch.Emit(trace.KindEpochCommit, 1, int64(inv), int64(inv+1))
 	}
-	for _, q := range queues {
-		q.Produce(cond{Kind: kindEnd})
+	for t, q := range queues {
+		produce(q, cond{Kind: kindEnd}, int64(t), sch)
+	}
+}
+
+// produce forwards one message to worker owner's queue, recording a
+// queue-full backoff episode on tt when the ring has no room. The fast
+// path is a single TryProduce, so with tracing disabled (nil tt) it
+// degrades to exactly queue.Produce.
+func produce(q *queue.SPSC[cond], c cond, owner int64, tt *trace.ThreadTrace) {
+	if q.TryProduce(c) {
+		return
+	}
+	tt.Emit(trace.KindQueueFullBegin, owner, 0, 0)
+	for spins := 1; ; spins++ {
+		if q.TryProduce(c) {
+			tt.Emit(trace.KindQueueFullEnd, owner, 0, 0)
+			return
+		}
+		queue.Backoff(spins)
+	}
+}
+
+// consume receives one message from worker owner's queue, recording a
+// queue-empty backoff episode on tt when the ring is dry; see produce.
+func consume(q *queue.SPSC[cond], owner int64, tt *trace.ThreadTrace) cond {
+	if v, ok := q.TryConsume(); ok {
+		return v
+	}
+	tt.Emit(trace.KindQueueEmptyBegin, owner, 0, 0)
+	for spins := 1; ; spins++ {
+		if v, ok := q.TryConsume(); ok {
+			tt.Emit(trace.KindQueueEmptyEnd, owner, 0, 0)
+			return v
+		}
+		queue.Backoff(spins)
 	}
 }
 
@@ -245,24 +299,26 @@ func addDep(deps []cond, tid int32, iter int64) []cond {
 
 // worker is Algorithm 2: consume conditions, stall on unsatisfied
 // dependences, execute dispatched iterations, and publish completion.
-func worker(w Workload, tid int, q *queue.SPSC[cond], latestFinished []paddedInt64, stats *Stats) {
+func worker(w Workload, tid int, q *queue.SPSC[cond], latestFinished []paddedInt64, stats *Stats, tt *trace.ThreadTrace) {
 	for {
-		c := q.Consume()
+		c := consume(q, int64(tid), tt)
 		switch c.Kind {
 		case kindEnd:
 			return
 		case kindDep:
 			if latestFinished[c.Tid].v.Load() < c.Iter {
 				atomic.AddInt64(&stats.Stalls, 1)
+				tt.Emit(trace.KindStallBegin, int64(c.Tid), c.Iter, 0)
 				for spins := 0; latestFinished[c.Tid].v.Load() < c.Iter; spins++ {
-					if spins > 16 {
-						runtime.Gosched()
-					}
+					queue.Backoff(spins)
 				}
+				tt.Emit(trace.KindStallEnd, int64(c.Tid), c.Iter, 0)
 			}
 		case kindRun:
+			tt.Emit(trace.KindIterStart, int64(c.Inv), int64(c.Index), c.Iter)
 			w.Execute(int(c.Inv), int(c.Index), tid)
 			latestFinished[tid].v.Store(c.Iter)
+			tt.Emit(trace.KindIterEnd, int64(c.Inv), int64(c.Index), c.Iter)
 		}
 	}
 }

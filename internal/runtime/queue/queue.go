@@ -38,11 +38,20 @@ type SPSC[T any] struct {
 	cachedTail uint64 // consumer's last observed tail
 }
 
+// MaxCapacity bounds NewSPSC: the largest capacity (pre-rounding) a ring
+// may be constructed with. Beyond it the power-of-two round-up would
+// overflow (capacities above 1<<62 used to spin the constructor forever),
+// and any value near it could never be allocated anyway.
+const MaxCapacity = 1 << 30
+
 // NewSPSC returns an SPSC queue with capacity rounded up to the next power of
-// two. Capacity must be positive.
+// two. Capacity must be in [1, MaxCapacity].
 func NewSPSC[T any](capacity int) *SPSC[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: invalid capacity %d", capacity))
+	}
+	if capacity > MaxCapacity {
+		panic(fmt.Sprintf("queue: capacity %d exceeds maximum %d", capacity, MaxCapacity))
 	}
 	n := uint64(1)
 	for n < uint64(capacity) {
@@ -54,10 +63,22 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 // Cap reports the queue capacity.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
 
-// Len reports the number of buffered elements. It is a snapshot and may be
-// stale by the time the caller uses it.
+// Len reports the number of buffered elements. It is a racy snapshot —
+// either index may advance between the two loads and before the caller
+// uses the result — so it is suitable for monitoring and heuristics, not
+// for synchronization. The two loads are not atomic together: loading
+// tail first means a concurrent consumer can advance head past the
+// observed tail, which would make the difference negative; Len clamps
+// that case to 0. (The tail-then-head order also guarantees the result
+// never exceeds Cap: head only grows, so a stale head can only shrink
+// the difference.)
 func (q *SPSC[T]) Len() int {
-	return int(q.tail.Load() - q.head.Load())
+	tail := q.tail.Load()
+	head := q.head.Load()
+	if head >= tail {
+		return 0
+	}
+	return int(tail - head)
 }
 
 // TryProduce appends v if there is room and reports whether it did.
@@ -79,7 +100,7 @@ func (q *SPSC[T]) TryProduce(v T) bool {
 // It must only be called from the producer goroutine.
 func (q *SPSC[T]) Produce(v T) {
 	for spins := 0; !q.TryProduce(v); spins++ {
-		backoff(spins)
+		Backoff(spins)
 	}
 }
 
@@ -108,16 +129,36 @@ func (q *SPSC[T]) Consume() T {
 		if v, ok := q.TryConsume(); ok {
 			return v
 		}
-		backoff(spins)
+		Backoff(spins)
 	}
 }
 
-// backoff yields the processor with increasing politeness: busy-spin briefly,
-// then hand the scheduler a chance to run the peer goroutine. On a machine
-// with fewer cores than runnable goroutines (including the single-core case)
-// the Gosched path is what makes progress.
-func backoff(spins int) {
-	if spins < 16 {
+// Backoff spin-wait politeness constants: attempts below BackoffBusySpins
+// busy-spin; from there to BackoffYieldCap the schedule yields at
+// power-of-two attempt numbers (exponentially spaced); past the cap every
+// attempt yields.
+const (
+	BackoffBusySpins = 4
+	BackoffYieldCap  = 1 << 8
+)
+
+// Backoff yields the processor with a capped exponential schedule, given
+// the number of failed attempts so far. The first few attempts busy-spin
+// — cheap when the peer runs on another core and the wait is ephemeral.
+// After that the schedule calls runtime.Gosched at exponentially spaced
+// attempts (4, 8, 16, … BackoffYieldCap), then on every attempt: under
+// GOMAXPROCS=1 a full (or empty) ring makes progress only when the
+// waiter yields, so the first yield must come early and the steady state
+// must yield continuously rather than burn the peer's only processor.
+//
+// It is exported so engine code that needs a custom wait loop (e.g. to
+// trace a backoff episode around TryProduce) degrades identically to
+// Produce/Consume.
+func Backoff(spins int) {
+	if spins < BackoffBusySpins {
+		return
+	}
+	if spins < BackoffYieldCap && spins&(spins-1) != 0 {
 		return
 	}
 	runtime.Gosched()

@@ -1,9 +1,12 @@
 package queue
 
 import (
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCapacityRounding(t *testing.T) {
@@ -24,6 +27,131 @@ func TestInvalidCapacityPanics(t *testing.T) {
 		}
 	}()
 	NewSPSC[int](0)
+}
+
+func TestAbsurdCapacityPanics(t *testing.T) {
+	// Capacities above 1<<62 used to overflow the power-of-two round-up
+	// and spin NewSPSC forever; anything above MaxCapacity must instead
+	// panic with a message that names the limit.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewSPSC(MaxCapacity+1) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "exceeds maximum") {
+			t.Fatalf("panic %v does not explain the capacity limit", r)
+		}
+	}()
+	NewSPSC[int](MaxCapacity + 1)
+}
+
+func TestMaxCapacityConstructs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a 1Gi-element ring")
+	}
+	q := NewSPSC[byte](MaxCapacity)
+	if q.Cap() != MaxCapacity {
+		t.Fatalf("Cap() = %d, want %d", q.Cap(), MaxCapacity)
+	}
+}
+
+// TestLenNeverNegativeHammer races Len against a concurrent
+// producer/consumer pair. Len loads tail then head non-atomically; before
+// the clamp, a consumer advancing between the two loads made it return a
+// negative length.
+func TestLenNeverNegativeHammer(t *testing.T) {
+	const n = 50000
+	q := NewSPSC[int](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Produce(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Consume()
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			if l := q.Len(); l != 0 {
+				t.Fatalf("drained queue Len() = %d, want 0", l)
+			}
+			return
+		default:
+		}
+		if l := q.Len(); l < 0 || l > q.Cap() {
+			t.Fatalf("Len() = %d outside [0, %d]", l, q.Cap())
+		}
+		if i%64 == 0 {
+			runtime.Gosched() // don't starve the producer/consumer pair
+		}
+	}
+}
+
+// TestFullRingSingleProc pins GOMAXPROCS to 1 and forces the producer to
+// block on a full ring: progress then depends entirely on the backoff
+// schedule yielding to the consumer. The old schedule busy-spun 16
+// iterations before the first yield; the capped exponential schedule
+// must both yield early and keep yielding, or this test hangs.
+func TestFullRingSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 50000
+	q := NewSPSC[int](4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			q.Produce(i) // ring is full almost immediately
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if got := q.Consume(); got != i {
+			t.Errorf("Consume() = %d, want %d", got, i)
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer did not finish: backoff never yielded to the consumer")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	// The schedule's shape (not its effect) is easy to pin: no yield
+	// below BackoffBusySpins, exponentially spaced yield points up to
+	// the cap, and every spin past the cap. Backoff's only observable
+	// action is runtime.Gosched, so assert the decision points via the
+	// exported constants instead.
+	if BackoffBusySpins >= BackoffYieldCap {
+		t.Fatalf("busy prefix %d not below yield cap %d", BackoffBusySpins, BackoffYieldCap)
+	}
+	yieldsAt := func(spins int) bool {
+		if spins < BackoffBusySpins {
+			return false
+		}
+		return spins >= BackoffYieldCap || spins&(spins-1) == 0
+	}
+	if yieldsAt(0) || yieldsAt(BackoffBusySpins-1) {
+		t.Error("schedule yields inside the busy prefix")
+	}
+	if !yieldsAt(BackoffBusySpins) {
+		t.Error("first yield must come right after the busy prefix")
+	}
+	if !yieldsAt(BackoffYieldCap) || !yieldsAt(BackoffYieldCap+1) || !yieldsAt(BackoffYieldCap+97) {
+		t.Error("schedule must yield on every attempt past the cap")
+	}
 }
 
 func TestTryProduceFull(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"crossinv/internal/runtime/queue"
+	"crossinv/internal/runtime/trace"
 )
 
 // checker is the violation-detection state (§4.2.1, Fig 4.7). One or more
@@ -62,7 +63,7 @@ func newChecker(workers, start, end int) *checker {
 // end token. It flags misspeculation on the shared state when a conflict is
 // found and keeps draining so no worker blocks on a full queue during
 // shutdown.
-func (c *checker) run(queues []*queue.SPSC[request], st *specState, stats *Stats) {
+func (c *checker) run(queues []*queue.SPSC[request], st *specState, stats *Stats, tt *trace.ThreadTrace) {
 	finished := make([]bool, len(queues))
 	remaining := len(queues)
 	for remaining > 0 {
@@ -81,7 +82,7 @@ func (c *checker) run(queues []*queue.SPSC[request], st *specState, stats *Stats
 				remaining--
 				continue
 			}
-			c.process(req.entry, st, stats)
+			c.process(req.entry, st, stats, tt)
 		}
 		if !progress {
 			// Nothing buffered on any queue: let the workers run. The
@@ -92,7 +93,7 @@ func (c *checker) run(queues []*queue.SPSC[request], st *specState, stats *Stats
 }
 
 // process logs the entry and performs both comparison directions.
-func (c *checker) process(e taskEntry, st *specState, stats *Stats) {
+func (c *checker) process(e taskEntry, st *specState, stats *Stats, tt *trace.ThreadTrace) {
 	epoch, _ := unpackET(e.pos)
 	rel := int(epoch) - c.start
 
@@ -136,6 +137,7 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats) {
 					continue // finished before e began: ordered, no overlap
 				}
 				atomic.AddInt64(&stats.Comparisons, 1)
+				tt.Emit(trace.KindSigCheck, int64(s.tid), int64(s.pos), 0)
 				if e.sig.Conflicts(s.sig) {
 					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
 					return
@@ -158,6 +160,7 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats) {
 				}
 				windowNonEmpty = true
 				atomic.AddInt64(&stats.Comparisons, 1)
+				tt.Emit(trace.KindSigCheck, int64(s.tid), int64(s.pos), 0)
 				if e.sig.Conflicts(s.sig) {
 					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
 					return
@@ -168,5 +171,6 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats) {
 
 	if windowNonEmpty {
 		atomic.AddInt64(&stats.CheckRequests, 1)
+		tt.Emit(trace.KindCheckRequest, int64(e.tid), int64(e.pos), 0)
 	}
 }

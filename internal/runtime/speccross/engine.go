@@ -2,7 +2,6 @@ package speccross
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +9,7 @@ import (
 	"crossinv/internal/runtime/barrier"
 	"crossinv/internal/runtime/queue"
 	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/trace"
 )
 
 // Run executes the workload under SPECCROSS and returns runtime statistics.
@@ -27,6 +27,7 @@ import (
 func Run(w Workload, cfg Config) Stats {
 	cfg.fill()
 	var stats Stats
+	ctl := cfg.Trace.Lane(trace.LaneControl)
 
 	irr, hasIrr := w.(Irreversibler)
 	epochs := w.Epochs()
@@ -35,9 +36,10 @@ func Run(w Workload, cfg Config) Stats {
 	for start := 0; start < epochs; {
 		// An irreversible epoch forms its own non-speculative segment.
 		if hasIrr && irr.Irreversible(start) {
-			runBarriers(w, cfg.Workers, start, start+1)
+			runBarriers(w, cfg.Workers, start, start+1, cfg.Trace)
 			snapshot = w.Snapshot()
 			stats.Checkpoints++
+			ctl.Emit(trace.KindCheckpoint, int64(start+1), 0, 0)
 			start++
 			continue
 		}
@@ -54,17 +56,26 @@ func Run(w Workload, cfg Config) Stats {
 			}
 		}
 
-		if runSpeculative(w, &cfg, start, end, &stats) {
+		ctl.Emit(trace.KindEpochBegin, int64(start), int64(end), 0)
+		if ok, reason := runSpeculative(w, &cfg, start, end, &stats); ok {
+			ctl.Emit(trace.KindEpochCommit, int64(end-start), int64(start), int64(end))
 			snapshot = w.Snapshot()
 			stats.Checkpoints++
+			ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
 			stats.Epochs += int64(end - start)
 		} else {
 			stats.Misspeculations++
+			ctl.Emit(trace.KindMisspec, int64(reason), int64(start), int64(end))
+			ctl.Emit(trace.KindEpochAbort, int64(start), int64(end), 0)
 			w.Restore(snapshot)
-			runBarriers(w, cfg.Workers, start, end)
+			ctl.Emit(trace.KindRestore, int64(start), 0, 0)
+			ctl.Emit(trace.KindRecoveryBegin, int64(start), int64(end), 0)
+			runBarriers(w, cfg.Workers, start, end, cfg.Trace)
 			stats.ReexecutedEpochs += int64(end - start)
+			ctl.Emit(trace.KindRecoveryEnd, int64(end-start), int64(start), int64(end))
 			snapshot = w.Snapshot()
 			stats.Checkpoints++
+			ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
 		}
 		start = end
 	}
@@ -77,25 +88,37 @@ func Run(w Workload, cfg Config) Stats {
 // epochs (Fig 4.2(c)). It returns the barrier so callers can read idle-time
 // statistics (Fig 4.3).
 func RunBarriers(w Workload, workers int) *barrier.Barrier {
+	return RunBarriersTraced(w, workers, nil)
+}
+
+// RunBarriersTraced is RunBarriers with event tracing: each worker tid
+// emits iteration spans and barrier-wait spans on lane tid of rec. A nil
+// rec is equivalent to RunBarriers.
+func RunBarriersTraced(w Workload, workers int, rec *trace.Recorder) *barrier.Barrier {
 	if workers <= 0 {
 		panic(fmt.Sprintf("speccross: invalid worker count %d", workers))
 	}
-	return runBarriers(w, workers, 0, w.Epochs())
+	return runBarriers(w, workers, 0, w.Epochs(), rec)
 }
 
-func runBarriers(w Workload, workers, start, end int) *barrier.Barrier {
+func runBarriers(w Workload, workers, start, end int, rec *trace.Recorder) *barrier.Barrier {
 	bar := barrier.New(workers)
 	var wg sync.WaitGroup
 	for tid := 0; tid < workers; tid++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
+			tt := rec.Lane(int32(tid))
 			for e := start; e < end; e++ {
 				n := w.Tasks(e)
 				for t := tid; t < n; t += workers {
+					tt.Emit(trace.KindIterStart, int64(e), int64(t), 0)
 					w.Run(e, t, tid, nil)
+					tt.Emit(trace.KindIterEnd, int64(e), int64(t), 0)
 				}
+				tt.Emit(trace.KindBarrierWaitBegin, int64(e), 0, 0)
 				bar.Wait()
+				tt.Emit(trace.KindBarrierWaitEnd, int64(e), 0, 0)
 			}
 		}(tid)
 	}
@@ -153,8 +176,9 @@ const (
 )
 
 // runSpeculative executes epochs [start, end) without barriers and reports
-// whether the segment committed cleanly.
-func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok bool) {
+// whether the segment committed cleanly; on misspeculation, reason is the
+// misspec* code that triggered the abort.
+func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok bool, reason int32) {
 	nw := cfg.Workers
 	st := &specState{cfg: cfg, start: int32(start)}
 	st.pos = make([]paddedU64, nw)
@@ -191,10 +215,10 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 			subset = append(subset, queues[qi])
 		}
 		checkers.Add(1)
-		go func(subset []*queue.SPSC[request]) {
+		go func(sh int, subset []*queue.SPSC[request]) {
 			defer checkers.Done()
-			chk.run(subset, st, stats)
-		}(subset)
+			chk.run(subset, st, stats, cfg.Trace.Lane(trace.LaneCheckerBase-int32(sh)))
+		}(sh, subset)
 	}
 
 	var wg sync.WaitGroup
@@ -202,26 +226,27 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			specWorker(w, st, tid, start, end, queues[tid], stats)
+			specWorker(w, st, tid, start, end, queues[tid], stats, cfg.Trace.Lane(int32(tid)))
 		}(tid)
 	}
 	wg.Wait()
 	checkers.Wait()
 
-	return st.misspec.Load() == misspecNone
+	r := st.misspec.Load()
+	return r == misspecNone, r
 }
 
 // specWorker executes this thread's share of every epoch in the segment,
 // publishing positions, signatures and checking requests (the worker loop of
 // Fig 4.7).
-func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[request], stats *Stats) {
+func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[request], stats *Stats, tt *trace.ThreadTrace) {
 	nw := st.cfg.Workers
 	defer func() {
 		if r := recover(); r != nil {
 			// A fault during speculative execution (the segfault trigger of
 			// §4.2.2): flag misspeculation and shut down this worker.
 			st.misspec.CompareAndSwap(misspecNone, misspecPanic)
-			q.Produce(request{end: true})
+			produceReq(q, request{end: true}, tid, tt)
 		}
 	}()
 
@@ -229,7 +254,7 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 		n := w.Tasks(e)
 		for t := tid; t < n; t += nw {
 			if st.misspec.Load() != misspecNone {
-				q.Produce(request{end: true})
+				produceReq(q, request{end: true}, tid, tt)
 				return
 			}
 			global := st.prefix[e-start] + int64(t)
@@ -237,8 +262,8 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 			if st.cfg.SpecDistanceOf != nil {
 				dist = st.cfg.SpecDistanceOf(e)
 			}
-			if stallOnRange(st, tid, global, dist, stats) {
-				q.Produce(request{end: true})
+			if stallOnRange(st, tid, global, dist, stats, tt) {
+				produceReq(q, request{end: true}, tid, tt)
 				return
 			}
 
@@ -252,14 +277,16 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 				}
 			}
 
+			tt.Emit(trace.KindTaskStart, int64(e), int64(t), global)
 			sig := signature.New(st.cfg.SigKind)
 			w.Run(e, t, tid, sig)
 			st.done[tid].v.Store(global)
 			atomic.AddInt64(&stats.Tasks, 1)
+			tt.Emit(trace.KindTaskEnd, int64(e), int64(t), global)
 
-			q.Produce(request{entry: taskEntry{
+			produceReq(q, request{entry: taskEntry{
 				tid: int32(tid), pos: packET(int32(e), int32(t)), wm: wm, sig: sig,
-			}})
+			}}, tid, tt)
 
 			if st.cfg.ForceMisspecEpoch == e {
 				st.misspec.CompareAndSwap(misspecNone, misspecInjected)
@@ -269,13 +296,31 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 	// Mark this worker as past the segment so range gating never waits on
 	// a thread that has no tasks left.
 	st.done[tid].v.Store(1 << 62)
-	q.Produce(request{end: true})
+	produceReq(q, request{end: true}, tid, tt)
+}
+
+// produceReq forwards one checking request, recording a queue-full backoff
+// episode on tt when the checker has fallen behind and the ring is full
+// (checker pressure, §5.2). With tracing disabled it degrades to exactly
+// queue.Produce.
+func produceReq(q *queue.SPSC[request], r request, owner int, tt *trace.ThreadTrace) {
+	if q.TryProduce(r) {
+		return
+	}
+	tt.Emit(trace.KindQueueFullBegin, int64(owner), 0, 0)
+	for spins := 1; ; spins++ {
+		if q.TryProduce(r) {
+			tt.Emit(trace.KindQueueFullEnd, int64(owner), 0, 0)
+			return
+		}
+		queue.Backoff(spins)
+	}
 }
 
 // stallOnRange blocks while this worker is more than SpecDistance tasks
 // ahead of the laggard (the enter_task gating of Table 4.1). It reports true
 // if the segment misspeculated while waiting.
-func stallOnRange(st *specState, tid int, global, dist int64, stats *Stats) (aborted bool) {
+func stallOnRange(st *specState, tid int, global, dist int64, stats *Stats, tt *trace.ThreadTrace) (aborted bool) {
 	if dist <= 0 {
 		return false
 	}
@@ -294,17 +339,22 @@ func stallOnRange(st *specState, tid int, global, dist int64, stats *Stats) (abo
 			// Strictly within the profiled window: any pair separated by
 			// at least the minimum dependence distance is ordered, so a
 			// faithful profile guarantees misspeculation-free execution.
+			if stalled {
+				tt.Emit(trace.KindRangeStallEnd, global, dist, 0)
+			}
 			return false
 		}
 		if st.misspec.Load() != misspecNone {
+			if stalled {
+				tt.Emit(trace.KindRangeStallEnd, global, dist, 1)
+			}
 			return true
 		}
 		if !stalled {
 			stalled = true
 			atomic.AddInt64(&stats.RangeStalls, 1)
+			tt.Emit(trace.KindRangeStallBegin, global, dist, 0)
 		}
-		if spins > 8 {
-			runtime.Gosched()
-		}
+		queue.Backoff(spins)
 	}
 }

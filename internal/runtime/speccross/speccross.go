@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/trace"
 )
 
 // Workload is the code region SPECCROSS parallelizes: a sequence of epochs
@@ -94,6 +95,14 @@ type Config struct {
 	// fault-injection mode Fig 5.3's "with misspec." series uses.
 	// Zero (the default) disables injection.
 	ForceMisspecEpoch int
+	// Trace, when non-nil, receives engine events: segment control
+	// (epoch begin/commit/abort, misspeculation, checkpoint/restore,
+	// recovery spans) on trace.LaneControl, speculative task spans and
+	// range stalls on worker lanes 0..Workers-1, and signature
+	// comparisons / check requests on checker lanes (shard s emits on
+	// trace.LaneCheckerBase - s). A nil Trace compiles the hot path down
+	// to nil-receiver no-ops.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fill() {

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (the "JSON Array Format" chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level object form of the format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps a lane to a non-negative Chrome thread id with a
+// stable, legible ordering: control=0, scheduler=1, checkers=2…,
+// workers from 10.
+func chromeTID(lane int32) int {
+	switch {
+	case lane >= 0:
+		return 10 + int(lane)
+	case lane == LaneControl:
+		return 0
+	case lane == LaneScheduler:
+		return 1
+	default: // checker shard s at lane LaneCheckerBase-s
+		return 2 + int(LaneCheckerBase-lane)
+	}
+}
+
+// spanArgs names the A/B/C arguments for span-class begin events so the
+// Chrome UI shows meaningful fields.
+func eventArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KindIterStart, KindIterEnd, KindTaskStart, KindTaskEnd:
+		return map[string]any{"epoch": e.A, "index": e.B, "global": e.C}
+	case KindStallBegin, KindStallEnd:
+		return map[string]any{"depTid": e.A, "depIter": e.B}
+	case KindSyncCond:
+		return map[string]any{"target": e.A, "depTid": e.B, "depIter": e.C}
+	case KindRangeStallBegin, KindRangeStallEnd:
+		return map[string]any{"global": e.A, "distance": e.B}
+	case KindEpochBegin, KindEpochAbort, KindRecoveryBegin:
+		return map[string]any{"start": e.A, "end": e.B}
+	case KindEpochCommit, KindRecoveryEnd:
+		return map[string]any{"epochs": e.A, "start": e.B, "end": e.C}
+	case KindMisspec:
+		return map[string]any{"reason": e.A, "start": e.B, "end": e.C}
+	case KindWindowBegin:
+		return map[string]any{"start": e.A, "end": e.B, "engine": e.C}
+	case KindEngineSwitch:
+		return map[string]any{"from": e.A, "to": e.B, "epoch": e.C}
+	case KindQueueDepth:
+		return nil // rendered as a counter event
+	default:
+		return map[string]any{"a": e.A, "b": e.B, "c": e.C}
+	}
+}
+
+// WriteChrome writes the recorder's surviving events in Chrome
+// trace_event JSON. Spans become balanced B/E pairs per thread (ends
+// whose begins were overwritten by ring wraparound are dropped so the
+// output always nests), instants become "i" events, and queue-depth
+// samples become "C" counter events. The file loads directly in
+// chrome://tracing or https://ui.perfetto.dev.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var out []chromeEvent
+	if r != nil {
+		for _, t := range r.laneList() {
+			tid := chromeTID(t.lane)
+			out = append(out, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+				Args: map[string]any{"name": LaneName(t.lane)},
+			})
+			var depth [len(spanClasses)]int
+			for _, e := range t.events() {
+				ts := float64(e.Nanos) / 1e3
+				if e.Kind == KindQueueDepth {
+					out = append(out, chromeEvent{
+						Name: "queue depth", Phase: "C", TS: ts, PID: 0, TID: tid,
+						Args: map[string]any{"depth": e.A},
+					})
+					continue
+				}
+				if idx, isBegin, ok := classOf(e.Kind); ok {
+					if isBegin {
+						depth[idx]++
+						out = append(out, chromeEvent{
+							Name: spanClasses[idx].name, Phase: "B", TS: ts, PID: 0, TID: tid,
+							Args: eventArgs(e),
+						})
+					} else if depth[idx] > 0 {
+						depth[idx]--
+						out = append(out, chromeEvent{
+							Name: spanClasses[idx].name, Phase: "E", TS: ts, PID: 0, TID: tid,
+						})
+					}
+					continue
+				}
+				out = append(out, chromeEvent{
+					Name: e.Kind.String(), Phase: "i", TS: ts, PID: 0, TID: tid,
+					Scope: "t", Args: eventArgs(e),
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ns"})
+}
+
+// ValidateChrome checks that data is a structurally sound Chrome
+// trace_event file as WriteChrome emits it: a traceEvents array whose
+// entries have a name, a known phase, and a non-negative timestamp, and
+// whose B/E events balance per thread with matching names (unclosed
+// spans at end-of-trace are allowed — a panicked worker legitimately
+// leaves one open). The CI trace job runs this (via cmd/tracecheck)
+// against a freshly produced file.
+func ValidateChrome(data []byte) error {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no traceEvents")
+	}
+	stacks := map[int][]string{}
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch e.Phase {
+		case "B":
+			stacks[e.TID] = append(stacks[e.TID], e.Name)
+		case "E":
+			st := stacks[e.TID]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on tid %d without matching B", i, e.Name, e.TID)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				return fmt.Errorf("trace: event %d: E %q does not match open B %q", i, e.Name, top)
+			}
+			stacks[e.TID] = st[:len(st)-1]
+		case "i", "C", "M", "X":
+			// instant, counter, metadata, complete: no pairing.
+		default:
+			return fmt.Errorf("trace: event %d has unknown phase %q", i, e.Phase)
+		}
+		if e.Phase != "M" && e.TS < 0 {
+			return fmt.Errorf("trace: event %d has negative timestamp", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// Histogram is a power-of-two-bucketed distribution: value v lands in
+// bucket bits.Len64(v), so bucket i covers [2^(i-1), 2^i). It records
+// count, sum, min, and max exactly; quantiles are bucket-resolution
+// approximations. Values are nanoseconds for duration histograms and
+// plain counts for depth histograms.
+type Histogram struct {
+	Buckets [65]int64
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound of the q-quantile (0 < q <= 1) at
+// bucket resolution: the upper edge of the bucket containing it.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return h.Max
+}
+
+// Registry holds named counters, gauges, and histograms — the metrics
+// layer fed from the event stream. Counters and gauges are exact (they
+// come from the per-kind Summary counters); histograms are built from
+// the surviving ring events, so a long run that overflowed its rings
+// has exact counts but sampled distributions.
+type Registry struct {
+	counters   map[string]int64
+	gauges     map[string]float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]int64{},
+		gauges:     map[string]float64{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// AddCounter increments the named counter by d.
+func (g *Registry) AddCounter(name string, d int64) { g.counters[name] += d }
+
+// Counter returns the named counter's value.
+func (g *Registry) Counter(name string) int64 { return g.counters[name] }
+
+// SetGauge sets the named gauge.
+func (g *Registry) SetGauge(name string, v float64) { g.gauges[name] = v }
+
+// Gauge returns the named gauge's value.
+func (g *Registry) Gauge(name string) float64 { return g.gauges[name] }
+
+// Histogram returns the named histogram, creating it if absent.
+func (g *Registry) Histogram(name string) *Histogram {
+	h, ok := g.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		g.histograms[name] = h
+	}
+	return h
+}
+
+// spanClass groups begin/end kind pairs into duration histograms. The
+// epoch class has two closing kinds (commit and abort).
+type spanClass struct {
+	name  string
+	begin Kind
+	ends  []Kind
+}
+
+var spanClasses = [...]spanClass{
+	{"iteration", KindIterStart, []Kind{KindIterEnd}},
+	{"task", KindTaskStart, []Kind{KindTaskEnd}},
+	{"stall", KindStallBegin, []Kind{KindStallEnd}},
+	{"queue-full", KindQueueFullBegin, []Kind{KindQueueFullEnd}},
+	{"queue-empty", KindQueueEmptyBegin, []Kind{KindQueueEmptyEnd}},
+	{"barrier-wait", KindBarrierWaitBegin, []Kind{KindBarrierWaitEnd}},
+	{"range-stall", KindRangeStallBegin, []Kind{KindRangeStallEnd}},
+	{"epoch", KindEpochBegin, []Kind{KindEpochCommit, KindEpochAbort}},
+	{"recovery", KindRecoveryBegin, []Kind{KindRecoveryEnd}},
+}
+
+// classOf maps a kind to its span class index and role; ok is false for
+// instantaneous kinds.
+func classOf(k Kind) (idx int, isBegin bool, ok bool) {
+	for i, c := range spanClasses {
+		if k == c.begin {
+			return i, true, true
+		}
+		for _, e := range c.ends {
+			if k == e {
+				return i, false, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// Metrics derives the registry from the recorder: one counter per event
+// kind (exact), stall/queue/iteration/epoch duration histograms and a
+// queue-depth histogram (from surviving ring events), and gauges for
+// lane count and drop rate. On a nil recorder it returns an empty
+// registry.
+func (r *Recorder) Metrics() *Registry {
+	g := NewRegistry()
+	if r == nil {
+		return g
+	}
+	sum := r.Summary()
+	for k := Kind(0); k < KindCount; k++ {
+		if sum.Counts[k] != 0 {
+			g.AddCounter("events."+k.String(), sum.Counts[k])
+		}
+	}
+	g.AddCounter("trace.events", sum.Events)
+	g.AddCounter("trace.dropped", sum.Dropped)
+	g.SetGauge("trace.lanes", float64(sum.Lanes))
+	if sum.Events > 0 {
+		g.SetGauge("trace.drop.rate", float64(sum.Dropped)/float64(sum.Events))
+	}
+
+	for _, t := range r.laneList() {
+		var open [len(spanClasses)][]int64 // start-time stacks per class
+		for _, e := range t.events() {
+			if e.Kind == KindQueueDepth {
+				g.Histogram("queue.depth").Observe(e.A)
+				continue
+			}
+			idx, isBegin, ok := classOf(e.Kind)
+			if !ok {
+				continue
+			}
+			if isBegin {
+				open[idx] = append(open[idx], e.Nanos)
+				continue
+			}
+			if n := len(open[idx]); n > 0 {
+				start := open[idx][n-1]
+				open[idx] = open[idx][:n-1]
+				g.Histogram(spanClasses[idx].name + ".ns").Observe(e.Nanos - start)
+			}
+			// An end without a surviving begin means the begin was
+			// overwritten by ring wraparound; skip it.
+		}
+	}
+	return g
+}
+
+// WriteText renders the registry as a stable, human-readable listing:
+// counters, then gauges, then histograms, each alphabetically.
+func (g *Registry) WriteText(w io.Writer) error {
+	var names []string
+	for n := range g.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter   %-28s %d\n", n, g.counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range g.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge     %-28s %.3f\n", n, g.gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range g.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := g.histograms[n]
+		if _, err := fmt.Fprintf(w, "histogram %-28s count %-8d mean %-12.0f p50<=%-12d max %d\n",
+			n, h.Count, h.Mean(), h.Quantile(0.5), h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalDuration is a convenience: the summed duration of the named span
+// histogram as a time.Duration.
+func (g *Registry) TotalDuration(name string) time.Duration {
+	if h, ok := g.histograms[name]; ok {
+		return time.Duration(h.Sum)
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// laneSummary is one row of the plain-text timeline: how a thread spent
+// its recorded time.
+type laneSummary struct {
+	lane    int32
+	events  int64
+	dropped int64
+	first   int64
+	last    int64
+	busy    int64 // iteration + task span time
+	stalled int64 // dependence + range + barrier-wait time
+	queued  int64 // queue full/empty backoff time
+}
+
+// WriteTimeline renders a per-thread summary of the recorded run: for
+// each lane, its event count, covered time span, and how that span
+// divides into execution (iteration/task spans), stalls (dependence,
+// range, and barrier waits), and queue backoff. Durations come from the
+// surviving ring events, so heavily overflowed lanes undercount time
+// (the drops column says by how much to distrust a row).
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-12s %10s %8s %12s %12s %12s %12s\n",
+		"thread", "events", "drops", "span", "busy", "stalled", "queue-wait"); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	for _, t := range r.laneList() {
+		s := laneSummary{lane: t.lane, events: int64(t.n), dropped: t.dropped(), first: -1}
+		var open [len(spanClasses)][]int64
+		for _, e := range t.events() {
+			if s.first < 0 {
+				s.first = e.Nanos
+			}
+			s.last = e.Nanos
+			idx, isBegin, ok := classOf(e.Kind)
+			if !ok {
+				continue
+			}
+			if isBegin {
+				open[idx] = append(open[idx], e.Nanos)
+				continue
+			}
+			n := len(open[idx])
+			if n == 0 {
+				continue
+			}
+			d := e.Nanos - open[idx][n-1]
+			open[idx] = open[idx][:n-1]
+			switch spanClasses[idx].name {
+			case "iteration", "task":
+				s.busy += d
+			case "stall", "range-stall", "barrier-wait":
+				s.stalled += d
+			case "queue-full", "queue-empty":
+				s.queued += d
+			}
+		}
+		span := time.Duration(0)
+		if s.first >= 0 {
+			span = time.Duration(s.last - s.first)
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %10d %8d %12v %12v %12v %12v\n",
+			LaneName(s.lane), s.events, s.dropped,
+			span.Round(time.Microsecond),
+			time.Duration(s.busy).Round(time.Microsecond),
+			time.Duration(s.stalled).Round(time.Microsecond),
+			time.Duration(s.queued).Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+// Package trace is the runtime observability layer shared by every
+// execution engine: a low-overhead, per-thread event recorder that the
+// barrier, DOMORE, SPECCROSS, and adaptive runtimes emit into.
+//
+// Design constraints, in order:
+//
+//  1. Disabled tracing must cost (almost) nothing. Engines hold a
+//     *Recorder that is normally nil; Recorder.Lane on a nil recorder
+//     returns a nil *ThreadTrace, and every ThreadTrace method is a no-op
+//     on a nil receiver. The hot-path cost of disabled tracing is one
+//     pointer comparison per emission site.
+//  2. No locks on the hot path. Each engine thread owns exactly one lane
+//     (a *ThreadTrace); emission appends to the lane's private ring
+//     buffer and bumps the lane's private per-kind counters. The only
+//     lock is taken at lane registration (once per thread per run).
+//  3. Bounded memory. Each lane is a fixed-capacity ring; when a run
+//     emits more events than fit, the oldest events are overwritten and
+//     counted as dropped. The per-kind counters never drop, so counts
+//     derived from a Summary are exact even when the ring overflowed —
+//     this is what lets tests assert trace-derived statistics equal the
+//     engines' own Stats.
+//
+// Events cover the lifecycle the paper's engines share: iteration/task
+// spans, worker stalls with their ⟨depTid, depIterNum⟩ condition
+// (§3.2.2), queue full/empty backoff episodes (§3.2.3), epoch
+// begin/commit/abort segments, signature checks (§4.2.1),
+// misspeculation and recovery spans (§4.2.2), checkpoint/restore, and
+// the adaptive controller's window and engine-switch decisions.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind identifies one event type. The schema (argument meaning per kind)
+// is documented next to each constant and summarized in README.md.
+type Kind uint8
+
+const (
+	// KindIterStart/KindIterEnd span one non-speculative iteration or
+	// task execution: a DOMORE worker iteration or a barrier-engine task.
+	// A=invocation/epoch, B=iteration/task index, C=global iteration
+	// number (DOMORE) or 0.
+	KindIterStart Kind = iota
+	KindIterEnd
+	// KindTaskStart/KindTaskEnd span one speculative SPECCROSS task.
+	// A=epoch, B=task, C=global task number.
+	KindTaskStart
+	KindTaskEnd
+	// KindSchedule marks the DOMORE scheduler scheduling one iteration.
+	// A=1, B=invocation, C=global iteration number.
+	KindSchedule
+	// KindAddrCheck reports the shadow-memory lookups of one scheduled
+	// iteration. A=#addresses, B=invocation, C=global iteration number.
+	KindAddrCheck
+	// KindSyncCond marks one forwarded ⟨depTid, depIterNum⟩ condition.
+	// A=target worker, B=depTid, C=depIterNum.
+	KindSyncCond
+	// KindDispatch marks one (iteration, worker) dispatch.
+	// A=target worker, B=global iteration number.
+	KindDispatch
+	// KindQueueDepth samples a queue's buffered length at dispatch time.
+	// A=depth, B=queue owner lane.
+	KindQueueDepth
+	// KindStallBegin/KindStallEnd span a worker wait on an unsatisfied
+	// dependence. A=depTid, B=depIterNum.
+	KindStallBegin
+	KindStallEnd
+	// KindQueueFullBegin/KindQueueFullEnd span a producer backoff episode
+	// on a full ring. A=queue owner lane.
+	KindQueueFullBegin
+	KindQueueFullEnd
+	// KindQueueEmptyBegin/KindQueueEmptyEnd span a consumer backoff
+	// episode on an empty ring. A=queue owner lane.
+	KindQueueEmptyBegin
+	KindQueueEmptyEnd
+	// KindBarrierWaitBegin/KindBarrierWaitEnd span one barrier wait.
+	// A=epoch.
+	KindBarrierWaitBegin
+	KindBarrierWaitEnd
+	// KindRangeStallBegin/KindRangeStallEnd span a speculative-range
+	// stall (the enter_task gating of Table 4.1). A=global task number,
+	// B=distance bound.
+	KindRangeStallBegin
+	KindRangeStallEnd
+	// KindEpochBegin opens an epoch segment. A=start epoch, B=end epoch
+	// (exclusive). Closed by KindEpochCommit or KindEpochAbort.
+	KindEpochBegin
+	// KindEpochCommit closes a committed segment. A=#epochs committed,
+	// B=start, C=end.
+	KindEpochCommit
+	// KindEpochAbort closes a misspeculated segment. A=start, B=end.
+	KindEpochAbort
+	// KindSigCheck marks one checker signature comparison.
+	// A=logged task's lane, B=logged task's packed position.
+	KindSigCheck
+	// KindCheckRequest marks a checking request whose comparison window
+	// was non-empty (§4.1.3). A=requesting worker, B=packed position.
+	KindCheckRequest
+	// KindMisspec marks a detected misspeculation. A=reason
+	// (1 conflict, 2 panic, 3 injected, 4 timeout), B=start, C=end.
+	KindMisspec
+	// KindCheckpoint marks a snapshot. A=epoch after which state is safe.
+	KindCheckpoint
+	// KindRestore marks a rollback to the segment checkpoint. A=start.
+	KindRestore
+	// KindRecoveryBegin/KindRecoveryEnd span the non-speculative barrier
+	// re-execution after misspeculation. Begin: A=start, B=end.
+	// End: A=#epochs re-executed, B=start, C=end.
+	KindRecoveryBegin
+	KindRecoveryEnd
+	// KindWindowBegin marks an adaptive monitoring window. A=first epoch,
+	// B=end epoch (exclusive), C=engine. Engine-emitted epoch numbers
+	// inside a window are window-relative; this event carries the base.
+	KindWindowBegin
+	// KindEngineSwitch marks an adaptive engine change at a window
+	// boundary. A=from engine, B=to engine, C=boundary epoch.
+	KindEngineSwitch
+
+	// KindCount is the number of event kinds (not itself a kind).
+	KindCount
+)
+
+var kindNames = [KindCount]string{
+	KindIterStart:        "iter.start",
+	KindIterEnd:          "iter.end",
+	KindTaskStart:        "task.start",
+	KindTaskEnd:          "task.end",
+	KindSchedule:         "schedule",
+	KindAddrCheck:        "addr.check",
+	KindSyncCond:         "sync.cond",
+	KindDispatch:         "dispatch",
+	KindQueueDepth:       "queue.depth",
+	KindStallBegin:       "stall.begin",
+	KindStallEnd:         "stall.end",
+	KindQueueFullBegin:   "queue.full.begin",
+	KindQueueFullEnd:     "queue.full.end",
+	KindQueueEmptyBegin:  "queue.empty.begin",
+	KindQueueEmptyEnd:    "queue.empty.end",
+	KindBarrierWaitBegin: "barrier.wait.begin",
+	KindBarrierWaitEnd:   "barrier.wait.end",
+	KindRangeStallBegin:  "range.stall.begin",
+	KindRangeStallEnd:    "range.stall.end",
+	KindEpochBegin:       "epoch.begin",
+	KindEpochCommit:      "epoch.commit",
+	KindEpochAbort:       "epoch.abort",
+	KindSigCheck:         "sig.check",
+	KindCheckRequest:     "check.request",
+	KindMisspec:          "misspec",
+	KindCheckpoint:       "checkpoint",
+	KindRestore:          "restore",
+	KindRecoveryBegin:    "recovery.begin",
+	KindRecoveryEnd:      "recovery.end",
+	KindWindowBegin:      "window.begin",
+	KindEngineSwitch:     "engine.switch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Reserved lane identifiers for the non-worker threads. Worker threads
+// use their tid (>= 0) as the lane.
+const (
+	// LaneScheduler is the DOMORE dedicated scheduler thread.
+	LaneScheduler = -1
+	// LaneControl is the engine/controller goroutine: SPECCROSS segment
+	// control (checkpoint, rollback, recovery) and the adaptive
+	// controller's window decisions.
+	LaneControl = -2
+	// LaneCheckerBase is the first SPECCROSS checker shard; shard s uses
+	// lane LaneCheckerBase - s.
+	LaneCheckerBase = -3
+)
+
+// LaneName renders a lane identifier for human-readable output.
+func LaneName(lane int32) string {
+	switch {
+	case lane >= 0:
+		return "worker " + itoa(int64(lane))
+	case lane == LaneScheduler:
+		return "scheduler"
+	case lane == LaneControl:
+		return "control"
+	default:
+		return "checker " + itoa(int64(LaneCheckerBase-lane))
+	}
+}
+
+// itoa avoids importing strconv into the hot-path file for two call
+// sites; it handles the small non-negative integers lanes use.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Event is one recorded occurrence. Nanos is relative to the recorder's
+// construction time; A, B, C are kind-specific (see the Kind constants).
+type Event struct {
+	Nanos   int64
+	Lane    int32
+	Kind    Kind
+	A, B, C int64
+}
+
+// DefaultRingCap is the per-lane event capacity of NewRecorder.
+const DefaultRingCap = 1 << 14
+
+// Recorder collects events from a set of lanes (one per engine thread).
+// A nil *Recorder is the disabled state: Lane returns nil and every
+// derived accessor returns zero values.
+type Recorder struct {
+	start   time.Time
+	ringCap int
+
+	mu    sync.Mutex
+	lanes map[int32]*ThreadTrace
+}
+
+// NewRecorder returns an enabled recorder with DefaultRingCap events of
+// buffer per lane.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultRingCap) }
+
+// NewRecorderCap returns a recorder whose per-lane rings hold ringCap
+// events (rounded up to a power of two, minimum 16).
+func NewRecorderCap(ringCap int) *Recorder {
+	n := 16
+	for n < ringCap {
+		n <<= 1
+	}
+	return &Recorder{start: time.Now(), ringCap: n, lanes: map[int32]*ThreadTrace{}}
+}
+
+// Lane returns the per-thread emission handle for the given lane,
+// creating it on first use. Safe to call from any goroutine; the
+// returned handle must then be used by a single goroutine at a time
+// (engine threads re-using a lane across adaptive windows are fine
+// because window boundaries quiesce). On a nil recorder, Lane returns
+// nil, which every ThreadTrace method treats as "tracing disabled".
+func (r *Recorder) Lane(lane int32) *ThreadTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.lanes[lane]; ok {
+		return t
+	}
+	t := &ThreadTrace{rec: r, lane: lane, ring: make([]Event, r.ringCap), mask: uint64(r.ringCap - 1)}
+	r.lanes[lane] = t
+	return t
+}
+
+// now returns nanoseconds since the recorder was constructed.
+func (r *Recorder) now() int64 { return int64(time.Since(r.start)) }
+
+// laneList returns the lanes sorted by id (workers ascending after the
+// special lanes), for deterministic export order.
+func (r *Recorder) laneList() []*ThreadTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*ThreadTrace, 0, len(r.lanes))
+	for _, t := range r.lanes {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lane < out[j].lane })
+	return out
+}
+
+// ThreadTrace is one lane's private event sink. All methods are no-ops
+// on a nil receiver.
+type ThreadTrace struct {
+	rec  *Recorder
+	lane int32
+	ring []Event
+	mask uint64
+	n    uint64 // total events emitted; ring write cursor
+
+	counts [KindCount]int64 // exact per-kind event counts (never drop)
+	sums   [KindCount]int64 // exact per-kind sums of argument A
+}
+
+// Enabled reports whether emissions on this handle record anything;
+// use it to skip argument computation (e.g. a queue-length sample)
+// when tracing is off.
+func (t *ThreadTrace) Enabled() bool { return t != nil }
+
+// Emit records one event. The meaning of a, b, c depends on k; see the
+// Kind constants. Argument a is additionally accumulated into the
+// per-kind sum, which several derived statistics use.
+// Emit's nil guard must inline so that a disabled recorder costs a branch,
+// not a call, at every instrumentation site; the ring write lives in emit,
+// which is too large to inline.
+func (t *ThreadTrace) Emit(k Kind, a, b, c int64) {
+	if t == nil {
+		return
+	}
+	t.emit(k, a, b, c)
+}
+
+func (t *ThreadTrace) emit(k Kind, a, b, c int64) {
+	t.counts[k]++
+	t.sums[k] += a
+	t.ring[t.n&t.mask] = Event{Nanos: t.rec.now(), Lane: t.lane, Kind: k, A: a, B: b, C: c}
+	t.n++
+}
+
+// events returns the lane's surviving ring contents, oldest first.
+func (t *ThreadTrace) events() []Event {
+	if t.n <= uint64(len(t.ring)) {
+		return t.ring[:t.n]
+	}
+	out := make([]Event, 0, len(t.ring))
+	for i := t.n - uint64(len(t.ring)); i < t.n; i++ {
+		out = append(out, t.ring[i&t.mask])
+	}
+	return out
+}
+
+// dropped reports how many of the lane's events were overwritten.
+func (t *ThreadTrace) dropped() int64 {
+	if t.n <= uint64(len(t.ring)) {
+		return 0
+	}
+	return int64(t.n) - int64(len(t.ring))
+}
+
+// Summary is the exact per-kind accounting of a recorder: event counts
+// and argument-A sums per kind, aggregated over all lanes. Unlike the
+// ring contents, these never drop, so engine statistics derived from a
+// Summary are exact.
+type Summary struct {
+	Counts  [KindCount]int64
+	Sums    [KindCount]int64
+	Events  int64
+	Dropped int64
+	Lanes   int
+}
+
+// Summary aggregates the per-lane counters. Call it only while the
+// recorded engines are quiescent (between windows, or after a run): the
+// counters are written without synchronization by their owning threads.
+// On a nil recorder it returns the zero Summary.
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	if r == nil {
+		return s
+	}
+	for _, t := range r.laneList() {
+		for k := Kind(0); k < KindCount; k++ {
+			s.Counts[k] += t.counts[k]
+			s.Sums[k] += t.sums[k]
+		}
+		s.Events += int64(t.n)
+		s.Dropped += t.dropped()
+		s.Lanes++
+	}
+	return s
+}
+
+// Events returns every surviving event, grouped by lane (lanes in id
+// order, each lane's events oldest first). Events overwritten by ring
+// wraparound are absent; Summary counts remain exact regardless.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, t := range r.laneList() {
+		out = append(out, t.events()...)
+	}
+	return out
+}

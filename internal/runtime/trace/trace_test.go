@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	th := r.Lane(0)
+	if th != nil {
+		t.Fatal("nil recorder returned a non-nil lane")
+	}
+	if th.Enabled() {
+		t.Fatal("nil lane reports enabled")
+	}
+	th.Emit(KindIterStart, 1, 2, 3) // must not panic
+	if s := r.Summary(); s.Events != 0 || s.Lanes != 0 {
+		t.Fatalf("nil recorder summary = %+v, want zero", s)
+	}
+	if ev := r.Events(); ev != nil {
+		t.Fatalf("nil recorder events = %v, want nil", ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryCountsExactUnderOverflow(t *testing.T) {
+	r := NewRecorderCap(16)
+	th := r.Lane(3)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		th.Emit(KindAddrCheck, 4, 0, int64(i))
+	}
+	s := r.Summary()
+	if s.Counts[KindAddrCheck] != n {
+		t.Errorf("count = %d, want %d (counts must survive ring overflow)", s.Counts[KindAddrCheck], n)
+	}
+	if s.Sums[KindAddrCheck] != 4*n {
+		t.Errorf("sum = %d, want %d", s.Sums[KindAddrCheck], 4*n)
+	}
+	if s.Dropped != n-16 {
+		t.Errorf("dropped = %d, want %d", s.Dropped, n-16)
+	}
+	if got := len(r.Events()); got != 16 {
+		t.Errorf("surviving events = %d, want 16", got)
+	}
+	// Oldest events were overwritten: the survivors are the newest 16.
+	ev := r.Events()
+	if ev[0].C != n-16 || ev[len(ev)-1].C != n-1 {
+		t.Errorf("surviving range [%d, %d], want [%d, %d]", ev[0].C, ev[len(ev)-1].C, n-16, n-1)
+	}
+}
+
+func TestLanesAreConcurrentlyRegistrable(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(lane int32) {
+			defer wg.Done()
+			th := r.Lane(lane)
+			for j := 0; j < 100; j++ {
+				th.Emit(KindIterStart, int64(j), 0, 0)
+				th.Emit(KindIterEnd, int64(j), 0, 0)
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	s := r.Summary()
+	if s.Lanes != 8 {
+		t.Errorf("lanes = %d, want 8", s.Lanes)
+	}
+	if s.Counts[KindIterStart] != 800 || s.Counts[KindIterEnd] != 800 {
+		t.Errorf("iter counts = %d/%d, want 800/800", s.Counts[KindIterStart], s.Counts[KindIterEnd])
+	}
+}
+
+func TestLaneReuseReturnsSameHandle(t *testing.T) {
+	r := NewRecorder()
+	if r.Lane(5) != r.Lane(5) {
+		t.Fatal("Lane(5) returned distinct handles")
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < KindCount; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestLaneNames(t *testing.T) {
+	for _, tc := range []struct {
+		lane int32
+		want string
+	}{
+		{0, "worker 0"}, {12, "worker 12"},
+		{LaneScheduler, "scheduler"}, {LaneControl, "control"},
+		{LaneCheckerBase, "checker 0"}, {LaneCheckerBase - 2, "checker 2"},
+	} {
+		if got := LaneName(tc.lane); got != tc.want {
+			t.Errorf("LaneName(%d) = %q, want %q", tc.lane, got, tc.want)
+		}
+	}
+}
+
+func TestMetricsFromEvents(t *testing.T) {
+	r := NewRecorder()
+	th := r.Lane(0)
+	th.Emit(KindStallBegin, 1, 7, 0)
+	th.Emit(KindStallEnd, 1, 7, 0)
+	th.Emit(KindQueueDepth, 5, 0, 0)
+	th.Emit(KindQueueDepth, 9, 0, 0)
+	th.Emit(KindIterStart, 0, 0, 0)
+	th.Emit(KindIterEnd, 0, 0, 0)
+
+	g := r.Metrics()
+	if got := g.Counter("events.stall.begin"); got != 1 {
+		t.Errorf("stall.begin counter = %d, want 1", got)
+	}
+	if h := g.Histogram("stall.ns"); h.Count != 1 {
+		t.Errorf("stall histogram count = %d, want 1", h.Count)
+	}
+	if h := g.Histogram("queue.depth"); h.Count != 2 || h.Max != 9 || h.Min != 5 {
+		t.Errorf("queue depth histogram = %+v, want count 2 min 5 max 9", h)
+	}
+	if g.Gauge("trace.lanes") != 1 {
+		t.Errorf("trace.lanes gauge = %v, want 1", g.Gauge("trace.lanes"))
+	}
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter", "gauge", "histogram", "queue.depth"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 4, 8, 1000} {
+		h.Observe(v)
+	}
+	if h.Count != 5 || h.Sum != 1015 {
+		t.Fatalf("count/sum = %d/%d", h.Count, h.Sum)
+	}
+	if h.Min != 1 || h.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", h.Min, h.Max)
+	}
+	if q := h.Quantile(0.5); q < 4 || q > 8 {
+		t.Errorf("p50 = %d, want within [4, 8]", q)
+	}
+	if m := h.Mean(); m != 203 {
+		t.Errorf("mean = %v, want 203", m)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/runtime/trace"
 	"crossinv/internal/workloads"
 	"crossinv/internal/workloads/cg"
 	"crossinv/internal/workloads/epochal"
@@ -82,17 +83,35 @@ func EnginesMatchSequential(t *testing.T, name string) {
 	if e.SpecOK {
 		t.Run("barrier", func(t *testing.T) {
 			inst := Make(e)
-			speccross.RunBarriers(inst.(speccross.Workload), 4)
+			rec := trace.NewRecorder()
+			bar := speccross.RunBarriersTraced(inst.(speccross.Workload), 4, rec)
 			check(t, inst, "barrier")
+			sum := rec.Summary()
+			if _, waits := bar.Stats(); sum.Counts[trace.KindBarrierWaitBegin] != waits {
+				t.Errorf("trace barrier waits %d != barrier Stats waits %d",
+					sum.Counts[trace.KindBarrierWaitBegin], waits)
+			}
+			assertEq(t, "iter begin/end", sum.Counts[trace.KindIterStart], sum.Counts[trace.KindIterEnd])
 		})
 	}
 	if e.DomoreOK {
 		t.Run("domore", func(t *testing.T) {
 			inst := Make(e)
-			if stats := domore.Run(inst.(domore.Workload), domore.Options{Workers: 4}); stats.Iterations == 0 {
+			rec := trace.NewRecorder()
+			stats := domore.Run(inst.(domore.Workload), domore.Options{Workers: 4, Trace: rec})
+			if stats.Iterations == 0 {
 				t.Fatal("no iterations scheduled")
 			}
 			check(t, inst, "domore")
+			// Every DOMORE Stats counter must be re-derivable from the exact
+			// per-kind trace counts — the recorder is the same information,
+			// observed at the emission sites.
+			sum := rec.Summary()
+			assertEq(t, "iterations", sum.Counts[trace.KindSchedule], stats.Iterations)
+			assertEq(t, "dispatches", sum.Counts[trace.KindDispatch], stats.Dispatches)
+			assertEq(t, "sync conditions", sum.Counts[trace.KindSyncCond], stats.SyncConditions)
+			assertEq(t, "stalls", sum.Counts[trace.KindStallBegin], stats.Stalls)
+			assertEq(t, "addr checks", sum.Sums[trace.KindAddrCheck], stats.AddrChecks)
 		})
 	}
 	if e.SpecOK {
@@ -102,9 +121,21 @@ func EnginesMatchSequential(t *testing.T, name string) {
 			cfg := speccross.Config{Workers: 4, CheckpointEvery: 200, SigKind: kind}
 			if dist, ok := profiled(); ok {
 				cfg.SpecDistance = dist
-				if stats := speccross.Run(sw, cfg); stats.Misspeculations != 0 {
+				rec := trace.NewRecorder()
+				cfg.Trace = rec
+				stats := speccross.Run(sw, cfg)
+				if stats.Misspeculations != 0 {
 					t.Errorf("misspeculations = %d with profiled gating, want 0", stats.Misspeculations)
 				}
+				sum := rec.Summary()
+				assertEq(t, "tasks", sum.Counts[trace.KindTaskEnd], stats.Tasks)
+				assertEq(t, "epochs", sum.Sums[trace.KindEpochCommit], stats.Epochs)
+				assertEq(t, "check requests", sum.Counts[trace.KindCheckRequest], stats.CheckRequests)
+				assertEq(t, "comparisons", sum.Counts[trace.KindSigCheck], stats.Comparisons)
+				assertEq(t, "misspeculations", sum.Counts[trace.KindMisspec], stats.Misspeculations)
+				assertEq(t, "checkpoints", sum.Counts[trace.KindCheckpoint], stats.Checkpoints)
+				assertEq(t, "re-executed epochs", sum.Sums[trace.KindRecoveryEnd], stats.ReexecutedEpochs)
+				assertEq(t, "range stalls", sum.Counts[trace.KindRangeStallBegin], stats.RangeStalls)
 			} else {
 				speccross.RunBarriers(sw, cfg.Workers)
 			}
@@ -118,7 +149,8 @@ func EnginesMatchSequential(t *testing.T, name string) {
 			if !ok {
 				t.Fatalf("%s is marked for both engines but is not an adaptive.Workload", name)
 			}
-			cfg := adaptive.Config{Workers: 4}
+			rec := trace.NewRecorder()
+			cfg := adaptive.Config{Workers: 4, Trace: rec}
 			if dist, ok := profiled(); ok {
 				cfg.Spec.SpecDistance = dist
 			} else if raceflag.Enabled {
@@ -126,10 +158,24 @@ func EnginesMatchSequential(t *testing.T, name string) {
 				// data race — so pin the policy to DOMORE under the detector.
 				cfg.Policy = adaptive.Fixed(adaptive.EngineDomore)
 			}
-			if stats := adaptive.Run(aw, cfg); stats.Windows == 0 {
+			stats := adaptive.Run(aw, cfg)
+			if stats.Windows == 0 {
 				t.Fatal("no windows executed")
 			}
 			check(t, inst, "adaptive")
+			sum := rec.Summary()
+			assertEq(t, "windows", sum.Counts[trace.KindWindowBegin], int64(stats.Windows))
+			assertEq(t, "switches", sum.Counts[trace.KindEngineSwitch], int64(stats.Switches))
 		})
+	}
+}
+
+// assertEq compares a trace-derived counter against the engine's own Stats
+// field — the contract that lets the observability layer replace ad-hoc
+// counters.
+func assertEq(t *testing.T, what string, fromTrace, fromStats int64) {
+	t.Helper()
+	if fromTrace != fromStats {
+		t.Errorf("trace-derived %s = %d, engine Stats = %d", what, fromTrace, fromStats)
 	}
 }

@@ -1,0 +1,149 @@
+// Command bench is the performance-trajectory driver: it runs the full
+// engine×workload cell grid (plus runtime-primitive microbenchmarks) with
+// warmup and repetition, summarizes every cell with median/mean/CoV and a
+// bootstrap confidence interval, and writes a schema-versioned
+// BENCH_<n>.json. Committed BENCH files form the repo's performance
+// history; -compare gates changes with Mann-Whitney U significance tests.
+//
+// Usage:
+//
+//	bench [flags]                      run the grid, write BENCH_<n>.json
+//	bench -compare OLD.json NEW.json   benchstat-style delta table; exits 1
+//	                                   on significant same-env regressions
+//	bench -validate FILE.json          schema-check a BENCH file
+//	bench -list                        print the cell grid and exit
+//
+//	-o FILE      output path (default: next free BENCH_<n>.json in .)
+//	-n N         samples per cell (default 5)
+//	-warmup N    untimed warmup runs per cell (default 1)
+//	-workers N   engine worker count (default 4)
+//	-scale N     workload scale (default 1)
+//	-cells RE    only run cells whose ID matches the regexp
+//	-breakdown   add trace-derived stall/check/recovery fractions per cell
+//	-quick       CI smoke mode: -n 1 -warmup 0 (single short iteration)
+//	-alpha P     -compare significance level (default 0.05)
+//	-threshold F -compare minimum relative delta (default 0.03)
+//	-report-only -compare never exits nonzero (CI informational mode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"crossinv/internal/bench"
+
+	_ "crossinv/internal/workloads/blackscholes"
+	_ "crossinv/internal/workloads/cg"
+	_ "crossinv/internal/workloads/eclat"
+	_ "crossinv/internal/workloads/equake"
+	_ "crossinv/internal/workloads/fdtd"
+	_ "crossinv/internal/workloads/fluidanimate"
+	_ "crossinv/internal/workloads/jacobi"
+	_ "crossinv/internal/workloads/llubench"
+	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
+	_ "crossinv/internal/workloads/symm"
+)
+
+var (
+	out        = flag.String("o", "", "output path (default: next free BENCH_<n>.json)")
+	n          = flag.Int("n", 5, "samples per cell")
+	warmup     = flag.Int("warmup", 1, "untimed warmup runs per cell")
+	workers    = flag.Int("workers", 4, "engine worker count")
+	scale      = flag.Int("scale", 1, "workload scale")
+	cells      = flag.String("cells", "", "only run cells whose ID matches this regexp")
+	breakdown  = flag.Bool("breakdown", false, "add trace-derived time breakdowns per cell")
+	quick      = flag.Bool("quick", false, "CI smoke mode: -n 1 -warmup 0")
+	list       = flag.Bool("list", false, "print the cell grid and exit")
+	validate   = flag.String("validate", "", "schema-check this BENCH file and exit")
+	compare    = flag.Bool("compare", false, "compare two BENCH files: bench -compare OLD NEW")
+	alpha      = flag.Float64("alpha", 0.05, "significance level for -compare")
+	threshold  = flag.Float64("threshold", 0.03, "minimum relative median delta for -compare")
+	reportOnly = flag.Bool("report-only", false, "with -compare: report but never exit nonzero")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *validate != "":
+		if _, err := bench.ReadFile(*validate); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid (%s)\n", *validate, bench.Schema)
+	case *compare:
+		runCompare()
+	default:
+		runGrid()
+	}
+}
+
+func runCompare() {
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench -compare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := bench.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.ReadFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	cr := bench.Compare(old, cur, bench.CompareOptions{Alpha: *alpha, Threshold: *threshold})
+	if err := cr.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if cr.Failed() && !*reportOnly {
+		os.Exit(1)
+	}
+}
+
+func runGrid() {
+	opts := bench.Options{
+		N: *n, Warmup: *warmup, Workers: *workers, Scale: *scale,
+		Breakdown: *breakdown, Log: os.Stderr,
+	}
+	if *quick {
+		opts.N, opts.Warmup = 1, 0
+	}
+	if *cells != "" {
+		re, err := regexp.Compile(*cells)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Filter = re.MatchString
+	}
+	if *list {
+		ids, err := bench.CellIDs(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	res, err := bench.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path, err = bench.NextPath(".")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := res.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells, n=%d, %s)\n", path, len(res.Cells), res.N, res.Env.GitRev)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

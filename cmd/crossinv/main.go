@@ -24,23 +24,32 @@
 //	-metrics  print the metrics registry and per-thread timeline after the
 //	          run (single engine modes only)
 //	-misspec  inject a misspeculation at epoch N (speccross/adaptive)
+//	-serve    serve /metrics (Prometheus text), /summary (JSON), and
+//	          /debug/pprof/ on ADDR while looping the workload (single
+//	          engine modes only; CPU profiles carry engine/lane labels)
+//	-serve-runs  with -serve: stop after N runs (0: loop until killed)
 //
 // Examples:
 //
 //	crossinv -mode all -workers 8 examples/compiler/stencil.lnl
 //	crossinv -mode domore -trace out.json -metrics examples/compiler/cg.lnl
 //	crossinv -mode speccross -misspec 2 -trace spec.json examples/compiler/cg.lnl
+//	crossinv -mode domore -serve localhost:9090 examples/compiler/cg.lnl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"crossinv/internal/core"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
+	"crossinv/internal/obs"
 	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
@@ -67,6 +76,9 @@ var (
 	traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metrics   = flag.Bool("metrics", false, "print the metrics registry and per-thread timeline after the run")
 	misspec   = flag.Int("misspec", 0, "inject a misspeculation at this epoch (speccross/adaptive)")
+
+	serve     = flag.String("serve", "", "serve /metrics, /summary, and /debug/pprof on this address while looping the workload (single engine modes only)")
+	serveRuns = flag.Int("serve-runs", 0, "with -serve: stop after this many runs (0: loop until killed)")
 )
 
 func main() {
@@ -136,11 +148,11 @@ func main() {
 		return
 	}
 
-	observing := *traceFile != "" || *metrics
+	observing := *traceFile != "" || *metrics || *serve != ""
 	if observing || *misspec > 0 {
 		switch *mode {
 		case "all", "seq":
-			fatal(fmt.Errorf("-trace/-metrics/-misspec need a single engine mode, not -mode %s", *mode))
+			fatal(fmt.Errorf("-trace/-metrics/-misspec/-serve need a single engine mode, not -mode %s", *mode))
 		}
 	}
 	if *misspec > 0 && *mode != "speccross" && *mode != "adaptive" {
@@ -226,7 +238,13 @@ func main() {
 		runMode("speccross")
 		runMode("adaptive")
 	case "barrier", "domore", "speccross", "adaptive":
-		runMode(*mode)
+		if *serve != "" {
+			if err := serveLoop(*serve, *serveRuns, rec, func() { runMode(*mode) }); err != nil {
+				fatal(err)
+			}
+		} else {
+			runMode(*mode)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -237,6 +255,39 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// serveLoop exposes the observability mux on addr and keeps re-running the
+// selected engine against the shared recorder, so /metrics and the pprof
+// endpoints can be scraped while work is in flight. The recorder's
+// counters are cumulative across runs — the monotone series Prometheus
+// counters expect. runs == 0 loops until the process is killed.
+func serveLoop(addr string, runs int, rec *trace.Recorder, runOnce func()) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving /metrics, /summary, /debug/pprof/ on http://%s\n", ln.Addr())
+	return serveOn(ln, runs, rec, runOnce)
+}
+
+// serveOn runs the loop against an existing listener (split out so tests
+// can allocate the port). The listener is closed when the loop ends.
+func serveOn(ln net.Listener, runs int, rec *trace.Recorder, runOnce func()) error {
+	var completed atomic.Int64
+	mux := obs.NewMux(rec, func(g *trace.Registry) {
+		g.SetGauge("serve.runs", float64(completed.Load()))
+	})
+	go func() {
+		// http.Serve always returns a non-nil error once the listener
+		// closes; that is the loop's normal shutdown, not a failure.
+		_ = http.Serve(ln, mux)
+	}()
+	for i := 0; runs == 0 || i < runs; i++ {
+		runOnce()
+		completed.Add(1)
+	}
+	return ln.Close()
 }
 
 // exportTrace writes the recorder's Chrome trace_event JSON to file (when

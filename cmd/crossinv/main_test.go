@@ -2,12 +2,17 @@ package main
 
 import (
 	"flag"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"crossinv/internal/core"
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -77,6 +82,72 @@ func checkGolden(t *testing.T, goldenPath, got string) {
 	}
 	if got != string(want) {
 		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestServeLoop drives the -serve path end to end: a real listener, the
+// observability mux over a shared recorder, and the compiled CG example
+// looping under DOMORE. The first run blocks until the test has scraped
+// /metrics mid-flight, proving the surface serves while work is pending.
+func TestServeLoop(t *testing.T) {
+	c := compileFile(t, filepath.Join("..", "..", "examples", "compiler", "cg.lnl"))
+	if len(c.Regions) == 0 {
+		t.Fatal("cg.lnl has no candidate region")
+	}
+	target, err := c.Region(len(c.Regions) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	release := make(chan struct{})
+	first := true
+	done := make(chan error, 1)
+	go func() {
+		done <- serveOn(ln, 3, rec, func() {
+			if first {
+				first = false
+				<-release
+			}
+			if _, err := c.RunDOMOREOpts(target, domore.Options{Workers: 2, Trace: rec}); err != nil {
+				t.Error(err)
+			}
+		})
+	}()
+
+	// No keep-alives: the post-shutdown probe must dial fresh rather than
+	// reuse a connection that survives the listener close.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	// Scrape while the first run is held open.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mid-run /metrics: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "crossinv_serve_runs 0") {
+		t.Errorf("mid-run scrape should report 0 completed runs:\n%s", body)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("serveOn: %v", err)
+	}
+
+	// The listener is closed with the loop; the port must be dead.
+	if _, err := client.Get(base + "/metrics"); err == nil {
+		t.Error("server still reachable after the run loop ended")
+	}
+	if got := rec.Summary().Counts[trace.KindSchedule]; got == 0 {
+		t.Error("no schedule events recorded across serve runs")
 	}
 }
 

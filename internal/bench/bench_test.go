@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	_ "crossinv/internal/workloads/blackscholes"
+	_ "crossinv/internal/workloads/cg"
+	_ "crossinv/internal/workloads/eclat"
+	_ "crossinv/internal/workloads/equake"
+	_ "crossinv/internal/workloads/fdtd"
+	_ "crossinv/internal/workloads/fluidanimate"
+	_ "crossinv/internal/workloads/jacobi"
+	_ "crossinv/internal/workloads/llubench"
+	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
+	_ "crossinv/internal/workloads/symm"
+)
+
+// TestRunCGGrid runs the harness end to end on one workload that is
+// applicable to all four engines (CG), plus one microbenchmark, at the
+// CI smoke size: the produced Result must validate against the schema,
+// cover all four engines, and carry trace-derived breakdowns.
+func TestRunCGGrid(t *testing.T) {
+	res, err := Run(Options{
+		N: 2, Warmup: 1, Workers: 4,
+		Breakdown: true,
+		Filter: func(id string) bool {
+			return strings.HasSuffix(id, "/CG") || id == "micro/queue.spsc"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("harness produced invalid result: %v", err)
+	}
+
+	wantIDs := []string{"barrier/CG", "domore/CG", "speccross/CG", "adaptive/CG", "micro/queue.spsc"}
+	for _, id := range wantIDs {
+		c := res.Cell(id)
+		if c == nil {
+			t.Errorf("missing cell %s", id)
+			continue
+		}
+		if len(c.Samples) != 2 {
+			t.Errorf("%s: %d samples, want 2", id, len(c.Samples))
+		}
+		if c.Engine != "micro" && len(c.Breakdown) == 0 {
+			t.Errorf("%s: no breakdown from traced run", id)
+		}
+		for class, frac := range c.Breakdown {
+			if frac < 0 || frac > 1.5 {
+				// Fractions can slightly exceed 1 for nested spans
+				// (task inside iteration) but not wildly.
+				t.Errorf("%s: breakdown[%s] = %v out of range", id, class, frac)
+			}
+		}
+	}
+	if res.Env.GoVersion == "" || res.Env.GOMAXPROCS == 0 {
+		t.Errorf("environment not captured: %+v", res.Env)
+	}
+
+	// The filter is honored: nothing beyond the requested cells.
+	if len(res.Cells) != len(wantIDs) {
+		ids := make([]string, 0, len(res.Cells))
+		for _, c := range res.Cells {
+			ids = append(ids, c.ID)
+		}
+		t.Errorf("got cells %v, want exactly %v", ids, wantIDs)
+	}
+}
+
+// TestFullGridEnumeration checks the cell grid against the registry's
+// applicability columns without running anything.
+func TestFullGridEnumeration(t *testing.T) {
+	specs := cellSpecs(Options{N: 1, Workers: 4, Scale: 1})
+	byEngine := map[string]int{}
+	ids := map[string]bool{}
+	for _, s := range specs {
+		if ids[s.id] {
+			t.Errorf("duplicate cell id %s", s.id)
+		}
+		ids[s.id] = true
+		byEngine[s.engine]++
+	}
+	for _, engine := range []string{"barrier", "domore", "speccross", "adaptive", "micro"} {
+		if byEngine[engine] == 0 {
+			t.Errorf("no cells for engine %s", engine)
+		}
+	}
+	// Spot-check applicability gating: ECLAT is DOMORE-only in Table 5.1.
+	if ids["speccross/ECLAT"] {
+		t.Error("speccross cell for a non-speculatable workload")
+	}
+	if !ids["domore/ECLAT"] {
+		t.Error("missing domore/ECLAT")
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// CompareOptions tunes the significance gate.
+type CompareOptions struct {
+	// Alpha is the Mann-Whitney significance level (default 0.05).
+	Alpha float64
+	// Threshold is the minimum relative median delta to flag even when
+	// significant (default 0.03): sub-3% shifts on a shared CI runner are
+	// noise regardless of p-value.
+	Threshold float64
+}
+
+func (o *CompareOptions) fill() {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.03
+	}
+}
+
+// Delta is one cell's old-vs-new comparison.
+type Delta struct {
+	ID        string
+	OldMedian float64
+	NewMedian float64
+	// Rel is (new-old)/old: positive means slower.
+	Rel float64
+	// P is the two-sided Mann-Whitney p-value over the raw samples.
+	P float64
+	// Significant means p < alpha AND |Rel| >= threshold.
+	Significant bool
+}
+
+// CompareResult is the full old-vs-new report.
+type CompareResult struct {
+	Deltas []Delta
+	// OnlyOld/OnlyNew list cells present in one file but not the other
+	// (grid drift, e.g. a new workload) — reported, never failed on.
+	OnlyOld, OnlyNew []string
+	// EnvWarnings lists environment differences between the two files.
+	EnvWarnings []string
+	// Regressions and Improvements count significant deltas by sign.
+	Regressions, Improvements int
+}
+
+// EnvMismatch reports whether the two runs came from different
+// environments. Compare demotes regressions to warnings when true: a
+// slower CPU model is not a code regression.
+func (cr *CompareResult) EnvMismatch() bool { return len(cr.EnvWarnings) > 0 }
+
+// Failed reports whether the comparison should gate (nonzero exit):
+// significant regressions on matching environments.
+func (cr *CompareResult) Failed() bool {
+	return cr.Regressions > 0 && !cr.EnvMismatch()
+}
+
+// Compare runs the Mann-Whitney U significance gate cell by cell over two
+// BENCH files. Cells are matched by ID; raw samples (not summaries) feed
+// the test, so both files must carry them (Validate enforces it).
+func Compare(old, cur *Result, opts CompareOptions) *CompareResult {
+	opts.fill()
+	cr := &CompareResult{EnvWarnings: envDiff(old.Env, cur.Env)}
+	newSeen := map[string]bool{}
+	for i := range cur.Cells {
+		newSeen[cur.Cells[i].ID] = false
+	}
+	for i := range old.Cells {
+		oc := &old.Cells[i]
+		nc := cur.Cell(oc.ID)
+		if nc == nil {
+			cr.OnlyOld = append(cr.OnlyOld, oc.ID)
+			continue
+		}
+		newSeen[oc.ID] = true
+		d := Delta{
+			ID:        oc.ID,
+			OldMedian: oc.Median,
+			NewMedian: nc.Median,
+			P:         MannWhitneyP(oc.Samples, nc.Samples),
+		}
+		if oc.Median > 0 {
+			d.Rel = (nc.Median - oc.Median) / oc.Median
+		}
+		d.Significant = d.P < opts.Alpha && math.Abs(d.Rel) >= opts.Threshold
+		if d.Significant {
+			if d.Rel > 0 {
+				cr.Regressions++
+			} else {
+				cr.Improvements++
+			}
+		}
+		cr.Deltas = append(cr.Deltas, d)
+	}
+	for id, seen := range newSeen {
+		if !seen {
+			cr.OnlyNew = append(cr.OnlyNew, id)
+		}
+	}
+	sort.Strings(cr.OnlyNew)
+	return cr
+}
+
+// envDiff lists the environment fields that differ between two runs.
+func envDiff(a, b Env) []string {
+	var warns []string
+	diff := func(field, av, bv string) {
+		if av != bv {
+			warns = append(warns, fmt.Sprintf("%s: %q vs %q", field, av, bv))
+		}
+	}
+	diff("go_version", a.GoVersion, b.GoVersion)
+	diff("goos", a.GOOS, b.GOOS)
+	diff("goarch", a.GOARCH, b.GOARCH)
+	diff("cpu_model", a.CPUModel, b.CPUModel)
+	if a.GOMAXPROCS != b.GOMAXPROCS {
+		warns = append(warns, fmt.Sprintf("gomaxprocs: %d vs %d", a.GOMAXPROCS, b.GOMAXPROCS))
+	}
+	return warns
+}
+
+// WriteTable renders a benchstat-style report: one row per matched cell
+// with the median shift and its p-value, then grid and environment notes.
+func (cr *CompareResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-28s %14s %14s %9s %8s\n", "cell", "old median", "new median", "delta", "p"); err != nil {
+		return err
+	}
+	for _, d := range cr.Deltas {
+		mark := ""
+		if d.Significant {
+			if d.Rel > 0 {
+				mark = "  REGRESSION"
+			} else {
+				mark = "  improved"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %14s %14s %+8.1f%% %8.3f%s\n",
+			d.ID, fmtNs(d.OldMedian), fmtNs(d.NewMedian), 100*d.Rel, d.P, mark); err != nil {
+			return err
+		}
+	}
+	for _, id := range cr.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", id)
+	}
+	for _, id := range cr.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", id)
+	}
+	for _, warn := range cr.EnvWarnings {
+		fmt.Fprintf(w, "env mismatch: %s\n", warn)
+	}
+	fmt.Fprintf(w, "significant: %d regression(s), %d improvement(s)\n", cr.Regressions, cr.Improvements)
+	if cr.Regressions > 0 && cr.EnvMismatch() {
+		fmt.Fprintf(w, "note: environments differ; regressions reported but not gated\n")
+	}
+	return nil
+}
+
+// fmtNs renders nanoseconds with an adaptive unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture builds a result whose cells have the given per-cell sample sets.
+func fixture(cells map[string][]float64) *Result {
+	n := 0
+	for _, s := range cells {
+		n = len(s)
+	}
+	r := &Result{Schema: Schema, N: n, Warmup: 1, Workers: 4, Scale: 1,
+		Env: Env{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, CPUModel: "testcpu"}}
+	for id, samples := range cells {
+		c := Cell{ID: id, Engine: "e", Workload: "w", Samples: samples}
+		c.summarize()
+		r.Cells = append(r.Cells, c)
+	}
+	return r
+}
+
+var baseSamples = map[string][]float64{
+	"domore/CG":   {1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+	"barrier/CG":  {2000, 2020, 1980, 2010, 1990, 2005, 1995, 2015},
+	"micro/queue": {500, 505, 495, 502, 498, 501, 499, 503},
+}
+
+// TestCompareIdentical proves the zero-exit side of the acceptance gate:
+// comparing a file against identical data flags nothing.
+func TestCompareIdentical(t *testing.T) {
+	old := fixture(baseSamples)
+	cur := fixture(baseSamples)
+	cr := Compare(old, cur, CompareOptions{})
+	if cr.Failed() {
+		t.Error("identical data reported as failed")
+	}
+	if cr.Regressions != 0 || cr.Improvements != 0 {
+		t.Errorf("identical data: %d regressions, %d improvements, want 0/0", cr.Regressions, cr.Improvements)
+	}
+	if cr.EnvMismatch() {
+		t.Errorf("same env flagged as mismatch: %v", cr.EnvWarnings)
+	}
+}
+
+// TestCompareInjectedRegression proves the nonzero-exit side: a synthetic
+// 50% slowdown on one cell must be detected as a significant regression.
+func TestCompareInjectedRegression(t *testing.T) {
+	old := fixture(baseSamples)
+	slowed := map[string][]float64{}
+	for id, s := range baseSamples {
+		slowed[id] = append([]float64(nil), s...)
+	}
+	for i := range slowed["domore/CG"] {
+		slowed["domore/CG"][i] *= 1.5
+	}
+	cur := fixture(slowed)
+
+	cr := Compare(old, cur, CompareOptions{})
+	if !cr.Failed() {
+		t.Fatal("injected 50% regression not gated")
+	}
+	if cr.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", cr.Regressions)
+	}
+	var hit *Delta
+	for i := range cr.Deltas {
+		if cr.Deltas[i].ID == "domore/CG" {
+			hit = &cr.Deltas[i]
+		}
+	}
+	if hit == nil || !hit.Significant || hit.Rel < 0.4 {
+		t.Fatalf("domore/CG delta not flagged: %+v", hit)
+	}
+	var sb strings.Builder
+	if err := cr.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("table lacks REGRESSION marker:\n%s", sb.String())
+	}
+
+	// The mirror image is an improvement, not a failure.
+	rev := Compare(cur, old, CompareOptions{})
+	if rev.Failed() {
+		t.Error("speedup gated as a regression")
+	}
+	if rev.Improvements != 1 {
+		t.Errorf("improvements = %d, want 1", rev.Improvements)
+	}
+}
+
+// TestCompareEnvMismatchDemotes checks satellite 3's cross-machine rule:
+// a regression measured on a different CPU is reported but never gates.
+func TestCompareEnvMismatchDemotes(t *testing.T) {
+	old := fixture(baseSamples)
+	slowed := map[string][]float64{}
+	for id, s := range baseSamples {
+		slowed[id] = append([]float64(nil), s...)
+		for i := range slowed[id] {
+			slowed[id][i] *= 2
+		}
+	}
+	cur := fixture(slowed)
+	cur.Env.CPUModel = "othercpu"
+	cur.Env.GOMAXPROCS = 2
+
+	cr := Compare(old, cur, CompareOptions{})
+	if !cr.EnvMismatch() {
+		t.Fatal("differing env not detected")
+	}
+	if cr.Regressions == 0 {
+		t.Error("regressions should still be counted under env mismatch")
+	}
+	if cr.Failed() {
+		t.Error("env-mismatched comparison must not gate")
+	}
+	var sb strings.Builder
+	if err := cr.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"env mismatch", "cpu_model", "gomaxprocs", "not gated"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table lacks %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestCompareGridDrift: cells present on only one side are listed, never
+// gated on.
+func TestCompareGridDrift(t *testing.T) {
+	old := fixture(baseSamples)
+	cur := fixture(map[string][]float64{
+		"domore/CG":    baseSamples["domore/CG"],
+		"barrier/CG":   baseSamples["barrier/CG"],
+		"adaptive/NEW": {900, 905, 895, 902, 898, 901, 899, 903},
+	})
+	cr := Compare(old, cur, CompareOptions{})
+	if cr.Failed() {
+		t.Error("grid drift gated")
+	}
+	if len(cr.OnlyOld) != 1 || cr.OnlyOld[0] != "micro/queue" {
+		t.Errorf("OnlyOld = %v, want [micro/queue]", cr.OnlyOld)
+	}
+	if len(cr.OnlyNew) != 1 || cr.OnlyNew[0] != "adaptive/NEW" {
+		t.Errorf("OnlyNew = %v, want [adaptive/NEW]", cr.OnlyNew)
+	}
+}
+
+// TestCompareThreshold: a significant-but-tiny shift stays unflagged.
+func TestCompareThreshold(t *testing.T) {
+	old := fixture(baseSamples)
+	nudged := map[string][]float64{}
+	for id, s := range baseSamples {
+		nudged[id] = append([]float64(nil), s...)
+	}
+	for i := range nudged["micro/queue"] {
+		nudged["micro/queue"][i] *= 1.01 // 1% < default 3% threshold
+	}
+	cr := Compare(old, fixture(nudged), CompareOptions{})
+	if cr.Failed() {
+		t.Error("1% shift gated despite 3% threshold")
+	}
+	// Tightening the threshold flags it (the shift is fully separated, so
+	// p is small).
+	cr = Compare(old, fixture(nudged), CompareOptions{Threshold: 0.005})
+	if !cr.Failed() {
+		t.Error("1% shift not gated at 0.5% threshold")
+	}
+}

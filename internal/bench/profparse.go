@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is a minimal reader for the pprof profile.proto wire format,
+// hand-decoded so the lane-attribution check needs no dependency outside
+// the standard library. It extracts exactly what the check consumes:
+// per-sample values, string labels (the "engine"/"lane" pairs
+// trace.Labeled attaches), and the function names on each sample's stack.
+
+// ProfSample is one decoded profile sample.
+type ProfSample struct {
+	// Value holds the sample-type values; for CPU profiles index 1 is
+	// nanoseconds and index 0 is the sample count.
+	Value []int64
+	// Labels holds the string labels attached via pprof.Do.
+	Labels map[string]string
+	// Funcs lists the function names on the stack, leaf first.
+	Funcs []string
+}
+
+// Prof is a decoded CPU profile.
+type Prof struct {
+	Samples []ProfSample
+}
+
+// ParseProfile decodes a pprof protobuf profile (gzipped or raw).
+func ParseProfile(data []byte) (*Prof, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("bench: profile gunzip: %w", err)
+		}
+		defer zr.Close()
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("bench: profile gunzip: %w", err)
+		}
+	}
+
+	var strtab []string
+	var rawSamples [][]byte
+	locLines := map[uint64][]uint64{} // location id → function ids, leaf first
+	funcNames := map[uint64]uint64{}  // function id → strtab index
+
+	// Pass 1: string table, locations, functions.
+	err := eachField(data, func(field uint64, wire int, v uint64, payload []byte) error {
+		switch field {
+		case 2: // Sample
+			rawSamples = append(rawSamples, payload)
+		case 4: // Location
+			var id uint64
+			var fns []uint64
+			if err := eachField(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4: // Line
+					return eachField(p, func(lf uint64, lw int, lv uint64, lp []byte) error {
+						if lf == 1 {
+							fns = append(fns, lv)
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locLines[id] = fns
+		case 5: // Function
+			var id, name uint64
+			if err := eachField(payload, func(f uint64, w int, v uint64, p []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = v
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			funcNames[id] = name
+		case 6: // string_table
+			strtab = append(strtab, string(payload))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+
+	// Pass 2: samples, resolved against the tables.
+	p := &Prof{}
+	for _, raw := range rawSamples {
+		s := ProfSample{Labels: map[string]string{}}
+		var locIDs []uint64
+		err := eachField(raw, func(f uint64, w int, v uint64, payload []byte) error {
+			switch f {
+			case 1: // location_id (repeated, possibly packed)
+				if w == 2 {
+					return eachVarint(payload, func(x uint64) { locIDs = append(locIDs, x) })
+				}
+				locIDs = append(locIDs, v)
+			case 2: // value (repeated, possibly packed)
+				if w == 2 {
+					return eachVarint(payload, func(x uint64) { s.Value = append(s.Value, int64(x)) })
+				}
+				s.Value = append(s.Value, int64(v))
+			case 3: // Label
+				var key, sv uint64
+				if err := eachField(payload, func(lf uint64, lw int, lv uint64, lp []byte) error {
+					switch lf {
+					case 1:
+						key = lv
+					case 2:
+						sv = lv
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				if sv != 0 {
+					s.Labels[str(key)] = str(sv)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range locIDs {
+			for _, fn := range locLines[id] {
+				s.Funcs = append(s.Funcs, str(funcNames[fn]))
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// eachField walks one protobuf message, invoking fn per field. For varint
+// fields v carries the value; for length-delimited fields payload carries
+// the bytes. Fixed32/fixed64 fields are skipped (the profile messages the
+// parser reads never use them).
+func eachField(data []byte, fn func(field uint64, wire int, v uint64, payload []byte) error) error {
+	for len(data) > 0 {
+		tag, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("bench: bad profile tag varint")
+		}
+		data = data[n:]
+		field, wire := tag>>3, int(tag&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("bench: bad profile varint (field %d)", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("bench: truncated fixed64 (field %d)", field)
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("bench: truncated length-delimited (field %d)", field)
+			}
+			if err := fn(field, wire, 0, data[n:n+int(l)]); err != nil {
+				return err
+			}
+			data = data[n+int(l):]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("bench: truncated fixed32 (field %d)", field)
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("bench: unsupported wire type %d (field %d)", wire, field)
+		}
+	}
+	return nil
+}
+
+// eachVarint decodes a packed varint payload.
+func eachVarint(data []byte, fn func(uint64)) error {
+	for len(data) > 0 {
+		v, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("bench: bad packed varint")
+		}
+		fn(v)
+		data = data[n:]
+	}
+	return nil
+}
+
+// uvarint is encoding/binary.Uvarint without the import ceremony's
+// surprises: returns (value, bytes consumed), n<=0 on malformed input.
+func uvarint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// LaneAttribution sums CPU time (sample-type index 1, falling back to
+// index 0) over samples whose stack contains pkgSubstr, split by whether
+// the sample carries a "lane" label. The acceptance check asserts
+// labeled/(labeled+unlabeled) ≥ 0.9 for the engine packages: the
+// trace.Labeled wrappers must cover (nearly) all engine goroutines.
+func LaneAttribution(p *Prof, pkgSubstr string) (labeled, total int64) {
+	for _, s := range p.Samples {
+		inPkg := false
+		for _, fn := range s.Funcs {
+			if strings.Contains(fn, pkgSubstr) {
+				inPkg = true
+				break
+			}
+		}
+		if !inPkg {
+			continue
+		}
+		v := int64(1)
+		if len(s.Value) > 1 {
+			v = s.Value[1]
+		} else if len(s.Value) == 1 {
+			v = s.Value[0]
+		}
+		total += v
+		if s.Labels["lane"] != "" {
+			labeled += v
+		}
+	}
+	return labeled, total
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/workloads"
+)
+
+// --- synthetic wire-format test ---
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendField(b []byte, field uint64, payload []byte) []byte {
+	b = appendVarint(b, field<<3|2)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendVarintField(b []byte, field, v uint64) []byte {
+	b = appendVarint(b, field<<3|0)
+	return appendVarint(b, v)
+}
+
+// TestParseProfileSynthetic hand-encodes a two-sample profile — one
+// lane-labeled, one not — and checks the parser resolves strings,
+// stacks, packed values, and labels.
+func TestParseProfileSynthetic(t *testing.T) {
+	// String table: index 0 must be "".
+	strs := []string{"", "lane", "worker", "crossinv/internal/runtime/domore.Run.func1", "samples", "cpu"}
+
+	var prof []byte
+	for _, s := range strs {
+		prof = appendField(prof, 6, []byte(s))
+	}
+	// Function id=1 name=3.
+	var fn []byte
+	fn = appendVarintField(fn, 1, 1)
+	fn = appendVarintField(fn, 2, 3)
+	prof = appendField(prof, 5, fn)
+	// Location id=1 with one Line{function_id=1}.
+	var line []byte
+	line = appendVarintField(line, 1, 1)
+	var loc []byte
+	loc = appendVarintField(loc, 1, 1)
+	loc = appendField(loc, 4, line)
+	prof = appendField(prof, 4, loc)
+
+	// Sample 1: packed location_id [1], packed value [5, 500], label lane=worker.
+	var lbl []byte
+	lbl = appendVarintField(lbl, 1, 1) // key -> "lane"
+	lbl = appendVarintField(lbl, 2, 2) // str -> "worker"
+	var s1 []byte
+	s1 = appendField(s1, 1, appendVarint(nil, 1))
+	s1 = appendField(s1, 2, appendVarint(appendVarint(nil, 5), 500))
+	s1 = appendField(s1, 3, lbl)
+	prof = appendField(prof, 2, s1)
+
+	// Sample 2: same stack, no label, value [3, 300].
+	var s2 []byte
+	s2 = appendField(s2, 1, appendVarint(nil, 1))
+	s2 = appendField(s2, 2, appendVarint(appendVarint(nil, 3), 300))
+	prof = appendField(prof, 2, s2)
+
+	p, err := ParseProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("%d samples, want 2", len(p.Samples))
+	}
+	if got := p.Samples[0].Labels["lane"]; got != "worker" {
+		t.Errorf("sample 0 lane label = %q, want worker", got)
+	}
+	if len(p.Samples[0].Funcs) != 1 || p.Samples[0].Funcs[0] != strs[3] {
+		t.Errorf("sample 0 funcs = %v", p.Samples[0].Funcs)
+	}
+	if p.Samples[1].Labels["lane"] != "" {
+		t.Error("sample 1 should be unlabeled")
+	}
+	labeled, total := LaneAttribution(p, "crossinv/internal/runtime/")
+	if labeled != 500 || total != 800 {
+		t.Errorf("attribution = %d/%d, want 500/800", labeled, total)
+	}
+	if l, tot := LaneAttribution(p, "no/such/pkg"); l != 0 || tot != 0 {
+		t.Errorf("foreign-package attribution = %d/%d, want 0/0", l, tot)
+	}
+}
+
+// --- live acceptance test ---
+
+// TestLaneAttributionLive is the acceptance check for the pprof labeling:
+// profile the real engines and assert that at least 90% of the CPU time
+// spent under crossinv/internal/runtime/ carries a lane label. Profiling
+// is repeated in growing slices until enough samples accumulate (slow or
+// heavily shared machines tick at 100Hz regardless of load).
+func TestLaneAttributionLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling run skipped in -short mode")
+	}
+	e, err := workloads.Find("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile-based gating runs outside the profiling window so its
+	// unlabeled signature work cannot dilute the attribution.
+	dist, profitable := profiledDistance(e, 1, 4)
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		domore.Run(e.Make(1).(domore.Workload), domore.Options{Workers: 4})
+		speccross.RunBarriers(e.Make(1).(speccross.Workload), 4)
+		if profitable {
+			speccross.Run(e.Make(1).(speccross.Workload), speccross.Config{
+				Workers: 4, CheckpointEvery: 200, SpecDistance: dist,
+			})
+			adaptive.Run(e.Make(1).(adaptive.Workload), adaptive.Config{
+				Workers: 4, Spec: speccross.Config{SpecDistance: dist},
+			})
+		} else {
+			adaptive.Run(e.Make(1).(adaptive.Workload), adaptive.Config{
+				Workers: 4, Policy: adaptive.Fixed(adaptive.EngineDomore),
+			})
+		}
+	}
+	pprof.StopCPUProfile()
+
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("cannot parse own CPU profile: %v", err)
+	}
+	labeled, total := LaneAttribution(p, "crossinv/internal/runtime/")
+	if total < 10_000_000 { // under 10ms of engine samples: too noisy to judge
+		t.Skipf("only %dns of engine samples collected; profiler starved", total)
+	}
+	frac := float64(labeled) / float64(total)
+	t.Logf("lane attribution: %.1f%% of %.0fms engine CPU labeled", 100*frac, float64(total)/1e6)
+	if frac < 0.9 {
+		t.Errorf("lane labels attribute %.1f%% of engine CPU time, want >= 90%%", 100*frac)
+	}
+}

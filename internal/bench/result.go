@@ -1,0 +1,229 @@
+// Package bench is the stats-aware performance harness: it runs every
+// engine×workload cell (plus queue/signature/shadow microbenchmarks) a
+// configurable number of times, summarizes each cell with median, mean,
+// coefficient of variation, and a bootstrap confidence interval, and
+// serializes the lot as a schema-versioned BENCH_<n>.json. Successive
+// BENCH files committed at the repo root form the performance trajectory;
+// Compare runs Mann-Whitney U tests between two files and flags
+// statistically significant regressions, which is what the cmd/bench
+// -compare gate (and the CI smoke job) enforce.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the BENCH file format. Bump the suffix on breaking
+// changes; Validate rejects files from other schemas so a comparison
+// never silently misreads old data.
+const Schema = "crossinv-bench/v1"
+
+// Env records the machine and build context a BENCH file was produced
+// under. Compare prints (rather than fails on) mismatches: cross-machine
+// deltas are informative but not regressions.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GitRev     string `json:"git_rev,omitempty"`
+}
+
+// CaptureEnv records the current environment. Git revision and CPU model
+// degrade to empty/unknown when unavailable (detached containers, non-Linux
+// hosts) — absence is not an error.
+func CaptureEnv(repoDir string) Env {
+	e := Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+	cmd := exec.Command("git", "rev-parse", "--short", "HEAD")
+	cmd.Dir = repoDir
+	if out, err := cmd.Output(); err == nil {
+		e.GitRev = strings.TrimSpace(string(out))
+	}
+	return e
+}
+
+// cpuModel reads the model name from /proc/cpuinfo (Linux); empty elsewhere.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return ""
+}
+
+// Cell is one benchmark cell's summarized samples. Samples are wall-clock
+// nanoseconds per run; the setup (fresh workload state) is excluded.
+type Cell struct {
+	// ID is "<engine>/<workload>", e.g. "domore/CG" or "micro/queue.spsc".
+	ID       string `json:"id"`
+	Engine   string `json:"engine"`
+	Workload string `json:"workload"`
+
+	Samples []float64 `json:"samples_ns"`
+	Median  float64   `json:"median_ns"`
+	Mean    float64   `json:"mean_ns"`
+	CoV     float64   `json:"cov"`
+	// CILow/CIHigh bound the median at 95% confidence (percentile
+	// bootstrap, deterministic seed).
+	CILow  float64 `json:"ci_low_ns"`
+	CIHigh float64 `json:"ci_high_ns"`
+
+	// Breakdown maps trace span classes (stall, barrier-wait, recovery, …)
+	// to their fraction of total lane time, derived from one extra traced
+	// run per cell. Empty for microbenchmarks and untraced runs.
+	Breakdown map[string]float64 `json:"breakdown,omitempty"`
+
+	// Note records cell-level caveats, e.g. a speculation-unprofitable
+	// workload falling back to barrier execution.
+	Note string `json:"note,omitempty"`
+}
+
+// summarize fills the derived statistics from Samples. The bootstrap seed
+// is derived from the cell ID so re-running over identical samples yields
+// a byte-identical file.
+func (c *Cell) summarize() {
+	c.Median = Median(c.Samples)
+	c.Mean = Mean(c.Samples)
+	c.CoV = CoV(c.Samples)
+	seed := uint64(0x5eed)
+	for _, b := range []byte(c.ID) {
+		seed = seed*1099511628211 + uint64(b)
+	}
+	c.CILow, c.CIHigh = BootstrapCI(c.Samples, 0.95, 1000, seed)
+}
+
+// Result is one BENCH file: the full grid of cells plus run parameters
+// and environment.
+type Result struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"`
+	N         int    `json:"n"`
+	Warmup    int    `json:"warmup"`
+	Workers   int    `json:"workers"`
+	Scale     int    `json:"scale"`
+	Env       Env    `json:"env"`
+	Cells     []Cell `json:"cells"`
+}
+
+// Validate checks structural invariants: schema match, unique non-empty
+// cell IDs, sample counts consistent with N, and finite summary stats.
+func (r *Result) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.N <= 0 {
+		return fmt.Errorf("bench: n = %d, want > 0", r.N)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("bench: no cells")
+	}
+	seen := map[string]bool{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.ID == "" || c.Engine == "" || c.Workload == "" {
+			return fmt.Errorf("bench: cell %d has empty id/engine/workload", i)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("bench: duplicate cell id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if len(c.Samples) == 0 {
+			return fmt.Errorf("bench: cell %s has no samples", c.ID)
+		}
+		if len(c.Samples) != r.N {
+			return fmt.Errorf("bench: cell %s has %d samples, file says n=%d", c.ID, len(c.Samples), r.N)
+		}
+		for _, v := range []float64{c.Median, c.Mean, c.CILow, c.CIHigh} {
+			if v <= 0 || v != v { // non-positive or NaN
+				return fmt.Errorf("bench: cell %s has invalid summary stat %v", c.ID, v)
+			}
+		}
+		if c.CILow > c.Median || c.Median > c.CIHigh {
+			return fmt.Errorf("bench: cell %s CI [%v, %v] does not bracket median %v", c.ID, c.CILow, c.CIHigh, c.Median)
+		}
+	}
+	return nil
+}
+
+// Cell returns the cell with the given ID, or nil.
+func (r *Result) Cell(id string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].ID == id {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// ReadFile loads and validates a BENCH file.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteFile serializes the result (indented, trailing newline) to path.
+func (r *Result) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextPath returns the next free BENCH_<n>.json in dir: one past the
+// highest existing index (BENCH_0.json when none exist), so the committed
+// sequence forms a gap-tolerant, append-only trajectory.
+func NextPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		if m := benchName.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n+1 > next {
+				next = n + 1
+			}
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkResult builds a minimal valid result for schema tests.
+func mkResult(n int, ids ...string) *Result {
+	r := &Result{Schema: Schema, N: n, Warmup: 1, Workers: 4, Scale: 1}
+	for _, id := range ids {
+		c := Cell{ID: id, Engine: "e", Workload: "w"}
+		for i := 0; i < n; i++ {
+			c.Samples = append(c.Samples, float64(1000+i*10))
+		}
+		c.summarize()
+		r.Cells = append(r.Cells, c)
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	if err := mkResult(5, "a/x", "b/y").Validate(); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+
+	bad := func(name string, mutate func(*Result)) {
+		r := mkResult(5, "a/x", "b/y")
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid result", name)
+		}
+	}
+	bad("wrong schema", func(r *Result) { r.Schema = "crossinv-bench/v0" })
+	bad("no cells", func(r *Result) { r.Cells = nil })
+	bad("duplicate id", func(r *Result) { r.Cells[1].ID = r.Cells[0].ID })
+	bad("empty engine", func(r *Result) { r.Cells[0].Engine = "" })
+	bad("sample count mismatch", func(r *Result) { r.Cells[0].Samples = r.Cells[0].Samples[:3] })
+	bad("zero n", func(r *Result) { r.N = 0 })
+	bad("non-positive median", func(r *Result) { r.Cells[0].Median = 0 })
+	bad("CI not bracketing", func(r *Result) { r.Cells[0].CILow = r.Cells[0].Median + 1 })
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := mkResult(5, "domore/CG")
+	r.Env = CaptureEnv(".")
+	path := filepath.Join(dir, "BENCH_0.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells[0].Median != r.Cells[0].Median || got.Env.GoVersion != r.Env.GoVersion {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", got, r)
+	}
+	// ReadFile validates: a corrupted file must be rejected.
+	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted wrong-schema file")
+	}
+}
+
+func TestNextPath(t *testing.T) {
+	dir := t.TempDir()
+	for want, seed := range map[string][]string{
+		"BENCH_0.json": nil,
+		"BENCH_1.json": {"BENCH_0.json"},
+		"BENCH_8.json": {"BENCH_0.json", "BENCH_7.json", "BENCH_x.json", "other.json"},
+	} {
+		sub := filepath.Join(dir, want)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range seed {
+			if err := os.WriteFile(filepath.Join(sub, f), []byte("{}"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := NextPath(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(got) != want {
+			t.Errorf("NextPath with %v = %s, want %s", seed, filepath.Base(got), want)
+		}
+	}
+}

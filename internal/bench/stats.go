@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the middle value (average of the middle two for even
+// lengths; 0 when empty). The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CoV returns the coefficient of variation: sample standard deviation over
+// mean. It is the harness's noise gauge — a cell with CoV above a few
+// percent needs more samples before its deltas mean anything.
+func CoV(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs)-1)) / m
+}
+
+// splitmix is the deterministic generator for bootstrap resampling: the
+// harness must produce identical BENCH files for identical samples, so no
+// global randomness.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for the
+// median: resamples with replacement, each resample's median collected,
+// and the (1-conf)/2 and (1+conf)/2 percentiles reported. Deterministic
+// for a given seed. Degenerates to (x, x) for single-sample input.
+func BootstrapCI(xs []float64, conf float64, resamples int, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) == 1 {
+		return xs[0], xs[0]
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := splitmix{s: seed}
+	meds := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for i := range meds {
+		for j := range buf {
+			buf[j] = xs[rng.next()%uint64(len(xs))]
+		}
+		meds[i] = Median(buf)
+	}
+	sort.Float64s(meds)
+	alpha := (1 - conf) / 2
+	idx := func(p float64) int {
+		i := int(p * float64(resamples))
+		if i < 0 {
+			i = 0
+		}
+		if i >= resamples {
+			i = resamples - 1
+		}
+		return i
+	}
+	return meds[idx(alpha)], meds[idx(1-alpha)]
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U test
+// for samples a vs b, using the normal approximation with tie correction
+// and continuity correction — the benchstat-style significance gate for
+// BENCH comparisons. With fewer than 4 samples on either side the normal
+// approximation is meaningless and the test abstains by returning 1.
+func MannWhitneyP(a, b []float64) float64 {
+	na, nb := len(a), len(b)
+	if na < 4 || nb < 4 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		side int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups; accumulate the tie-correction term.
+	n := float64(na + nb)
+	var ra float64 // rank sum of a
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // midrank (1-based)
+		for k := i; k < j; k++ {
+			if all[k].side == 0 {
+				ra += rank
+			}
+		}
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	u := ra - float64(na)*float64(na+1)/2
+	mu := float64(na) * float64(nb) / 2
+	sigma2 := float64(na) * float64(nb) / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: no evidence of a shift.
+		return 1
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	return 2 * (1 - phi(math.Abs(z)))
+}
+
+// phi is the standard normal CDF.
+func phi(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedianMeanCoV(t *testing.T) {
+	cases := []struct {
+		xs           []float64
+		median, mean float64
+	}{
+		{nil, 0, 0},
+		{[]float64{7}, 7, 7},
+		{[]float64{1, 3}, 2, 2},
+		{[]float64{5, 1, 3}, 3, 3},
+		{[]float64{4, 1, 3, 2}, 2.5, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.median {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.median)
+		}
+		if got := Mean(c.xs); got != c.mean {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.mean)
+		}
+	}
+	// CoV of {2,4,4,4,5,5,7,9}: mean 5, sample sd ~2.138, CoV ~0.4276.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := CoV(xs); math.Abs(got-0.42762) > 1e-4 {
+		t.Errorf("CoV = %v, want ~0.42762", got)
+	}
+	if CoV([]float64{5}) != 0 {
+		t.Error("CoV of one sample should be 0")
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	lo1, hi1 := BootstrapCI(xs, 0.95, 500, 42)
+	lo2, hi2 := BootstrapCI(xs, 0.95, 500, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("bootstrap not deterministic for fixed seed: (%v,%v) vs (%v,%v)", lo1, hi1, lo2, hi2)
+	}
+	med := Median(xs)
+	if lo1 > med || med > hi1 {
+		t.Errorf("CI [%v, %v] does not bracket median %v", lo1, hi1, med)
+	}
+	if lo1 < 10 || hi1 > 19 {
+		t.Errorf("CI [%v, %v] outside data range", lo1, hi1)
+	}
+	if lo, hi := BootstrapCI([]float64{3}, 0.95, 100, 1); lo != 3 || hi != 3 {
+		t.Errorf("single-sample CI = [%v, %v], want [3, 3]", lo, hi)
+	}
+}
+
+func TestMannWhitneyP(t *testing.T) {
+	// Identical distributions: no evidence of a shift.
+	same := []float64{5, 6, 7, 8, 9, 10}
+	if p := MannWhitneyP(same, same); p < 0.9 {
+		t.Errorf("identical samples p = %v, want ~1", p)
+	}
+	// Fully separated samples: strong evidence.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{11, 12, 13, 14, 15, 16, 17, 18}
+	if p := MannWhitneyP(a, b); p > 0.01 {
+		t.Errorf("separated samples p = %v, want < 0.01", p)
+	}
+	// Symmetry.
+	if p1, p2 := MannWhitneyP(a, b), MannWhitneyP(b, a); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", p1, p2)
+	}
+	// Too few samples: the test abstains.
+	if p := MannWhitneyP([]float64{1, 2, 3}, b); p != 1 {
+		t.Errorf("n=3 should abstain with p=1, got %v", p)
+	}
+	// All values tied across both sides.
+	tied := []float64{4, 4, 4, 4, 4}
+	if p := MannWhitneyP(tied, tied); p != 1 {
+		t.Errorf("all-tied p = %v, want 1", p)
+	}
+	// Overlapping but shifted: significant at conventional alpha.
+	c := []float64{10, 11, 12, 13, 14, 15, 16, 17}
+	d := []float64{13, 14, 15, 16, 17, 18, 19, 20}
+	if p := MannWhitneyP(c, d); p >= 0.05 {
+		t.Errorf("shifted overlapping samples p = %v, want < 0.05", p)
+	}
+}

@@ -156,6 +156,19 @@ func Run(w Workload, cfg Config) Stats {
 	}
 
 	var stats Stats
+	trace.Labeled("adaptive", "control", func() {
+		stats = runWindows(w, cfg, epochs)
+	})
+	return stats
+}
+
+// runWindows is the controller loop: it runs on the adaptive monitor's
+// labeled goroutine, and each window's engine relabels the threads it
+// spawns (the controller thread itself re-labels per engine call via the
+// engines' own Labeled wrappers, so its scheduling work attributes to the
+// engine that performed it).
+func runWindows(w Workload, cfg Config, epochs int) Stats {
+	var stats Stats
 	ctl := cfg.Trace.Lane(trace.LaneControl)
 	engine := cfg.Start
 	for lo := 0; lo < epochs; {

@@ -168,11 +168,15 @@ func Run(w Workload, opts Options) Stats {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			worker(w, tid, queues[tid], latestFinished, &stats, opts.Trace.Lane(int32(tid)))
+			trace.Labeled("domore", "worker", func() {
+				worker(w, tid, queues[tid], latestFinished, &stats, opts.Trace.Lane(int32(tid)))
+			})
 		}(tid)
 	}
 
-	scheduler(w, opts, queues, &stats)
+	trace.Labeled("domore", "scheduler", func() {
+		scheduler(w, opts, queues, &stats)
+	})
 	wg.Wait()
 	return stats
 }

@@ -7,6 +7,7 @@ import (
 
 	"crossinv/internal/runtime/sched"
 	"crossinv/internal/runtime/shadow"
+	"crossinv/internal/runtime/trace"
 )
 
 // RunDuplicated executes the workload under the duplicated-scheduler variant
@@ -42,7 +43,11 @@ func RunDuplicated(w Workload, opts Options) Stats {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			duplicatedWorker(w, &opts, tid, nw, latestFinished, &stats)
+			// Each replica fuses scheduling and execution, so its lane is
+			// "worker": there is no dedicated scheduler to attribute to.
+			trace.Labeled("domore", "worker", func() {
+				duplicatedWorker(w, &opts, tid, nw, latestFinished, &stats)
+			})
 		}(tid)
 	}
 	wg.Wait()

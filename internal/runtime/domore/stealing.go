@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"crossinv/internal/runtime/trace"
 )
 
 // RunStealing executes the workload under DOMORE with dynamic load
@@ -51,56 +53,60 @@ func RunStealing(w Workload, opts Options) Stats {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			for t := range tasks {
-				for _, d := range t.deps {
-					if !flag(d).Load() {
-						atomic.AddInt64(&stats.Stalls, 1)
-						for spins := 0; !flag(d).Load(); spins++ {
-							if spins > 16 {
-								runtime.Gosched()
+			trace.Labeled("domore", "worker", func() {
+				for t := range tasks {
+					for _, d := range t.deps {
+						if !flag(d).Load() {
+							atomic.AddInt64(&stats.Stalls, 1)
+							for spins := 0; !flag(d).Load(); spins++ {
+								if spins > 16 {
+									runtime.Gosched()
+								}
 							}
 						}
 					}
+					w.Execute(t.inv, t.iter, tid)
+					flag(t.iterNum).Store(true)
+					atomic.AddInt64(&stats.Dispatches, 1)
 				}
-				w.Execute(t.inv, t.iter, tid)
-				flag(t.iterNum).Store(true)
-				atomic.AddInt64(&stats.Dispatches, 1)
-			}
+			})
 		}(tid)
 	}
 
-	shadowMem := opts.Shadow
-	var deps []int64
-	var buf []uint64
-	iterNum := int64(0)
-	invocations := w.Invocations()
-	for inv := 0; inv < invocations; inv++ {
-		w.Sequential(inv)
-		iters := w.Iterations(inv)
-		for it := 0; it < iters; it++ {
-			buf = w.ComputeAddr(inv, it, buf[:0])
-			addrs := buf
-			deps = deps[:0]
-			for _, a := range addrs {
-				stats.AddrChecks++
-				dep := shadowMem.Lookup(a)
-				// Skip self-dependences: an iteration that lists an address
-				// twice would otherwise wait on its own completion flag.
-				if dep.Iter >= 0 && dep.Iter != iterNum {
-					deps = appendDep(deps, dep.Iter)
+	trace.Labeled("domore", "scheduler", func() {
+		shadowMem := opts.Shadow
+		var deps []int64
+		var buf []uint64
+		iterNum := int64(0)
+		invocations := w.Invocations()
+		for inv := 0; inv < invocations; inv++ {
+			w.Sequential(inv)
+			iters := w.Iterations(inv)
+			for it := 0; it < iters; it++ {
+				buf = w.ComputeAddr(inv, it, buf[:0])
+				addrs := buf
+				deps = deps[:0]
+				for _, a := range addrs {
+					stats.AddrChecks++
+					dep := shadowMem.Lookup(a)
+					// Skip self-dependences: an iteration that lists an address
+					// twice would otherwise wait on its own completion flag.
+					if dep.Iter >= 0 && dep.Iter != iterNum {
+						deps = appendDep(deps, dep.Iter)
+					}
+					shadowMem.Update(a, 0, iterNum)
 				}
-				shadowMem.Update(a, 0, iterNum)
+				if chunk := iterNum >> chunkBits; table[chunk] == nil {
+					table[chunk] = make([]atomic.Bool, chunkSize)
+				}
+				tasks <- task{inv: inv, iter: it, iterNum: iterNum, deps: append([]int64(nil), deps...)}
+				stats.Iterations++
+				stats.SyncConditions += int64(len(deps))
+				iterNum++
 			}
-			if chunk := iterNum >> chunkBits; table[chunk] == nil {
-				table[chunk] = make([]atomic.Bool, chunkSize)
-			}
-			tasks <- task{inv: inv, iter: it, iterNum: iterNum, deps: append([]int64(nil), deps...)}
-			stats.Iterations++
-			stats.SyncConditions += int64(len(deps))
-			iterNum++
 		}
-	}
-	close(tasks)
+		close(tasks)
+	})
 	wg.Wait()
 	return stats
 }

@@ -25,6 +25,18 @@ import (
 // irreversible are likewise executed non-speculatively between two full
 // synchronizations.
 func Run(w Workload, cfg Config) Stats {
+	var stats Stats
+	// Segment control (checkpoint, rollback, recovery sequencing) runs on
+	// the calling goroutine; label it so profile samples of Snapshot and
+	// Restore attribute to the control lane. Worker and checker goroutines
+	// relabel themselves.
+	trace.Labeled("speccross", "control", func() {
+		stats = run(w, cfg)
+	})
+	return stats
+}
+
+func run(w Workload, cfg Config) Stats {
 	cfg.fill()
 	var stats Stats
 	ctl := cfg.Trace.Lane(trace.LaneControl)
@@ -108,18 +120,20 @@ func runBarriers(w Workload, workers, start, end int, rec *trace.Recorder) *barr
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			tt := rec.Lane(int32(tid))
-			for e := start; e < end; e++ {
-				n := w.Tasks(e)
-				for t := tid; t < n; t += workers {
-					tt.Emit(trace.KindIterStart, int64(e), int64(t), 0)
-					w.Run(e, t, tid, nil)
-					tt.Emit(trace.KindIterEnd, int64(e), int64(t), 0)
+			trace.Labeled("barrier", "worker", func() {
+				tt := rec.Lane(int32(tid))
+				for e := start; e < end; e++ {
+					n := w.Tasks(e)
+					for t := tid; t < n; t += workers {
+						tt.Emit(trace.KindIterStart, int64(e), int64(t), 0)
+						w.Run(e, t, tid, nil)
+						tt.Emit(trace.KindIterEnd, int64(e), int64(t), 0)
+					}
+					tt.Emit(trace.KindBarrierWaitBegin, int64(e), 0, 0)
+					bar.Wait()
+					tt.Emit(trace.KindBarrierWaitEnd, int64(e), 0, 0)
 				}
-				tt.Emit(trace.KindBarrierWaitBegin, int64(e), 0, 0)
-				bar.Wait()
-				tt.Emit(trace.KindBarrierWaitEnd, int64(e), 0, 0)
-			}
+			})
 		}(tid)
 	}
 	wg.Wait()
@@ -217,7 +231,9 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 		checkers.Add(1)
 		go func(sh int, subset []*queue.SPSC[request]) {
 			defer checkers.Done()
-			chk.run(subset, st, stats, cfg.Trace.Lane(trace.LaneCheckerBase-int32(sh)))
+			trace.Labeled("speccross", "checker", func() {
+				chk.run(subset, st, stats, cfg.Trace.Lane(trace.LaneCheckerBase-int32(sh)))
+			})
 		}(sh, subset)
 	}
 
@@ -226,7 +242,9 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			specWorker(w, st, tid, start, end, queues[tid], stats, cfg.Trace.Lane(int32(tid)))
+			trace.Labeled("speccross", "worker", func() {
+				specWorker(w, st, tid, start, end, queues[tid], stats, cfg.Trace.Lane(int32(tid)))
+			})
 		}(tid)
 	}
 	wg.Wait()

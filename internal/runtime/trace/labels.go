@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Labeled runs fn with pprof goroutine labels {engine, lane} set, so CPU
+// profiles attribute engine time to its lanes (scheduler, worker, checker,
+// control). Every engine wraps its thread bodies in Labeled; goroutines
+// spawned inside fn inherit the labels until they set their own, so helper
+// goroutines stay attributed to the engine that started them. The previous
+// label set is restored when fn returns, which is what lets the adaptive
+// controller relabel the same OS threads per window.
+//
+// The lane vocabulary matches LaneName: "scheduler" (DOMORE's dedicated
+// scheduler), "worker" (all engines), "checker" (SPECCROSS shards), and
+// "control" (SPECCROSS segment control and the adaptive monitor).
+func Labeled(engine, lane string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("engine", engine, "lane", lane), func(context.Context) {
+		fn()
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -13,7 +14,13 @@ import (
 // count, sum, min, and max exactly; quantiles are bucket-resolution
 // approximations. Values are nanoseconds for duration histograms and
 // plain counts for depth histograms.
+//
+// Observe, Mean, Quantile, and Snapshot synchronize on an internal mutex,
+// so concurrent observers and scrapers (crossinv -serve) are safe. The
+// exported fields remain directly readable for quiescent consumers (the
+// experiments harness, tests); only touch them while no Observe runs.
 type Histogram struct {
+	mu      sync.Mutex
 	Buckets [65]int64
 	Count   int64
 	Sum     int64
@@ -26,6 +33,7 @@ func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
+	h.mu.Lock()
 	h.Buckets[bits.Len64(uint64(v))]++
 	if h.Count == 0 || v < h.Min {
 		h.Min = v
@@ -35,25 +43,57 @@ func (h *Histogram) Observe(v int64) {
 	}
 	h.Count++
 	h.Sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Buckets [65]int64
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+}
+
+// Snapshot returns a consistent copy, safe against concurrent Observe.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{Buckets: h.Buckets, Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
 }
 
 // Mean returns the average observed value (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.Count == 0 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile returns an upper bound of the q-quantile (0 < q <= 1) at
-// bucket resolution: the upper edge of the bucket containing it.
+// Quantile returns an upper bound of the q-quantile at bucket resolution:
+// the upper edge of the bucket containing it, clamped to the observed
+// maximum (so the top bucket — whose nominal edge would overflow int64 for
+// values at or above 2^62 — reports Max, and q=1 is exactly Max). q is
+// clamped to [0, 1]; an empty histogram reports 0. The result is monotone
+// non-decreasing in q.
 func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) int64 {
 	if h.Count == 0 {
 		return 0
 	}
 	rank := int64(q * float64(h.Count))
 	if rank >= h.Count {
 		rank = h.Count - 1
+	}
+	if rank < 0 {
+		rank = 0
 	}
 	var seen int64
 	for i, c := range h.Buckets {
@@ -62,7 +102,17 @@ func (h *Histogram) Quantile(q float64) int64 {
 			if i == 0 {
 				return 0
 			}
-			return int64(1) << uint(i)
+			// Bucket i covers [2^(i-1), 2^i); its upper edge overflows
+			// int64 for i >= 63, and no observed value exceeds Max, so the
+			// clamped edge is the tighter (and overflow-free) upper bound.
+			if i >= 63 {
+				return h.Max
+			}
+			edge := int64(1) << uint(i)
+			if edge > h.Max {
+				edge = h.Max
+			}
+			return edge
 		}
 	}
 	return h.Max
@@ -73,7 +123,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 // come from the per-kind Summary counters); histograms are built from
 // the surviving ring events, so a long run that overflowed its rings
 // has exact counts but sampled distributions.
+//
+// All methods synchronize on an internal mutex, so a scrape handler
+// (crossinv -serve) can read a registry other goroutines are feeding.
 type Registry struct {
+	mu         sync.Mutex
 	counters   map[string]int64
 	gauges     map[string]float64
 	histograms map[string]*Histogram
@@ -89,19 +143,50 @@ func NewRegistry() *Registry {
 }
 
 // AddCounter increments the named counter by d.
-func (g *Registry) AddCounter(name string, d int64) { g.counters[name] += d }
+func (g *Registry) AddCounter(name string, d int64) {
+	g.mu.Lock()
+	g.counters[name] += d
+	g.mu.Unlock()
+}
 
 // Counter returns the named counter's value.
-func (g *Registry) Counter(name string) int64 { return g.counters[name] }
+func (g *Registry) Counter(name string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.counters[name]
+}
+
+// Counters returns a copy of the counter map.
+func (g *Registry) Counters() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.counters))
+	for n, v := range g.counters {
+		out[n] = v
+	}
+	return out
+}
 
 // SetGauge sets the named gauge.
-func (g *Registry) SetGauge(name string, v float64) { g.gauges[name] = v }
+func (g *Registry) SetGauge(name string, v float64) {
+	g.mu.Lock()
+	g.gauges[name] = v
+	g.mu.Unlock()
+}
 
 // Gauge returns the named gauge's value.
-func (g *Registry) Gauge(name string) float64 { return g.gauges[name] }
+func (g *Registry) Gauge(name string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gauges[name]
+}
 
-// Histogram returns the named histogram, creating it if absent.
+// Histogram returns the named histogram, creating it if absent. The
+// returned histogram's own methods synchronize independently, so holding
+// the result across concurrent Observe calls is safe.
 func (g *Registry) Histogram(name string) *Histogram {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	h, ok := g.histograms[name]
 	if !ok {
 		h = &Histogram{}
@@ -146,12 +231,13 @@ func classOf(k Kind) (idx int, isBegin bool, ok bool) {
 	return 0, false, false
 }
 
-// Metrics derives the registry from the recorder: one counter per event
-// kind (exact), stall/queue/iteration/epoch duration histograms and a
-// queue-depth histogram (from surviving ring events), and gauges for
-// lane count and drop rate. On a nil recorder it returns an empty
-// registry.
-func (r *Recorder) Metrics() *Registry {
+// LiveMetrics derives the counter-and-gauge half of the registry from the
+// recorder's exact per-kind counters: one counter per event kind, plus
+// totals and drop-rate gauges. Unlike Metrics it never walks the ring
+// buffers, so it is safe to call while engines are emitting — this is the
+// registry the -serve scrape surface renders. On a nil recorder it
+// returns an empty registry.
+func (r *Recorder) LiveMetrics() *Registry {
 	g := NewRegistry()
 	if r == nil {
 		return g
@@ -167,6 +253,21 @@ func (r *Recorder) Metrics() *Registry {
 	g.SetGauge("trace.lanes", float64(sum.Lanes))
 	if sum.Events > 0 {
 		g.SetGauge("trace.drop.rate", float64(sum.Dropped)/float64(sum.Events))
+	}
+	return g
+}
+
+// Metrics derives the registry from the recorder: one counter per event
+// kind (exact), stall/queue/iteration/epoch duration histograms and a
+// queue-depth histogram (from surviving ring events), and gauges for
+// lane count and drop rate. The histogram pass reads the ring buffers,
+// so call Metrics only while the recorded engines are quiescent; use
+// LiveMetrics for a concurrent scrape. On a nil recorder it returns an
+// empty registry.
+func (r *Recorder) Metrics() *Registry {
+	g := r.LiveMetrics()
+	if r == nil {
+		return g
 	}
 
 	for _, t := range r.laneList() {
@@ -199,35 +300,53 @@ func (r *Recorder) Metrics() *Registry {
 // WriteText renders the registry as a stable, human-readable listing:
 // counters, then gauges, then histograms, each alphabetically.
 func (g *Registry) WriteText(w io.Writer) error {
+	// Deep-copy under the lock: the maps are mutated in place by
+	// concurrent feeders, so rendering must work from a snapshot.
+	g.mu.Lock()
+	counters := make(map[string]int64, len(g.counters))
+	for n, v := range g.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(g.gauges))
+	for n, v := range g.gauges {
+		gauges[n] = v
+	}
+	histograms := make(map[string]*Histogram, len(g.histograms))
+	for n, h := range g.histograms {
+		histograms[n] = h
+	}
+	g.mu.Unlock()
+
 	var names []string
-	for n := range g.counters {
+	for n := range counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "counter   %-28s %d\n", n, g.counters[n]); err != nil {
+		if _, err := fmt.Fprintf(w, "counter   %-28s %d\n", n, counters[n]); err != nil {
 			return err
 		}
 	}
 	names = names[:0]
-	for n := range g.gauges {
+	for n := range gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "gauge     %-28s %.3f\n", n, g.gauges[n]); err != nil {
+		if _, err := fmt.Fprintf(w, "gauge     %-28s %.3f\n", n, gauges[n]); err != nil {
 			return err
 		}
 	}
 	names = names[:0]
-	for n := range g.histograms {
+	for n := range histograms {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		h := g.histograms[n]
+		h := histograms[n]
+		s := h.Snapshot()
 		if _, err := fmt.Fprintf(w, "histogram %-28s count %-8d mean %-12.0f p50<=%-12d max %d\n",
-			n, h.Count, h.Mean(), h.Quantile(0.5), h.Max); err != nil {
+			n, s.Count, h.Mean(), h.Quantile(0.5), s.Max); err != nil {
 			return err
 		}
 	}
@@ -237,8 +356,11 @@ func (g *Registry) WriteText(w io.Writer) error {
 // TotalDuration is a convenience: the summed duration of the named span
 // histogram as a time.Duration.
 func (g *Registry) TotalDuration(name string) time.Duration {
-	if h, ok := g.histograms[name]; ok {
-		return time.Duration(h.Sum)
+	g.mu.Lock()
+	h, ok := g.histograms[name]
+	g.mu.Unlock()
+	if ok {
+		return time.Duration(h.Snapshot().Sum)
 	}
 	return 0
 }

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the boundary behaviour the scrape surface
+// depends on: empty histograms, single-bucket distributions, the q=0 and
+// q=1 extremes, and values in the top buckets whose nominal power-of-two
+// edge would overflow int64 (the pre-fix bug: 1<<64 over int64 is 0, so
+// huge durations reported a zero quantile).
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single bucket", func(t *testing.T) {
+		var h Histogram
+		for _, v := range []int64{5, 6, 7} { // all land in bucket [4, 8)
+			h.Observe(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 1} {
+			got := h.Quantile(q)
+			if got < 7 || got > 8 {
+				t.Errorf("Quantile(%v) = %d, want an upper bound in [7, 8]", q, got)
+			}
+		}
+	})
+
+	t.Run("q extremes", func(t *testing.T) {
+		var h Histogram
+		for _, v := range []int64{1, 100, 10000} {
+			h.Observe(v)
+		}
+		if got := h.Quantile(0); got < 1 || got > 2 {
+			t.Errorf("Quantile(0) = %d, want the first bucket's edge (in [1, 2])", got)
+		}
+		if got := h.Quantile(1); got != 10000 {
+			t.Errorf("Quantile(1) = %d, want the observed max 10000", got)
+		}
+		// Out-of-contract q clamps rather than producing garbage ranks.
+		if got := h.Quantile(-0.5); got != h.Quantile(0) {
+			t.Errorf("Quantile(-0.5) = %d, want same as Quantile(0) = %d", got, h.Quantile(0))
+		}
+		if got := h.Quantile(2); got != h.Quantile(1) {
+			t.Errorf("Quantile(2) = %d, want same as Quantile(1) = %d", got, h.Quantile(1))
+		}
+	})
+
+	t.Run("top bucket overflow", func(t *testing.T) {
+		var h Histogram
+		huge := int64(math.MaxInt64 - 3)
+		h.Observe(huge) // bucket 64: nominal edge 1<<64 overflows
+		h.Observe(1 << 62)
+		for _, q := range []float64{0.5, 1} {
+			if got := h.Quantile(q); got <= 0 || got > huge {
+				t.Errorf("Quantile(%v) = %d, want a positive bound <= %d", q, got, huge)
+			}
+		}
+		if got := h.Quantile(1); got != huge {
+			t.Errorf("Quantile(1) = %d, want max %d", got, huge)
+		}
+	})
+
+	// Property: Quantile is monotone non-decreasing in q, for a spread of
+	// deterministic pseudo-random distributions.
+	t.Run("monotone in q", func(t *testing.T) {
+		seed := uint64(0xB0B)
+		next := func() uint64 {
+			seed += 0x9e3779b97f4a7c15
+			z := seed
+			z ^= z >> 33
+			z *= 0xff51afd7ed558ccd
+			z ^= z >> 33
+			return z
+		}
+		for trial := 0; trial < 20; trial++ {
+			var h Histogram
+			n := int(next()%200) + 1
+			for i := 0; i < n; i++ {
+				shift := next() % 63
+				h.Observe(int64(next() % (uint64(1)<<shift + 1)))
+			}
+			prev := int64(-1)
+			for q := 0.0; q <= 1.0; q += 0.01 {
+				got := h.Quantile(q)
+				if got < prev {
+					t.Fatalf("trial %d: Quantile(%v) = %d < Quantile(%v) = %d", trial, q, got, q-0.01, prev)
+				}
+				prev = got
+			}
+		}
+	})
+}
+
+// TestRegistryConcurrentAccess hammers every mutating registry entry point
+// against readers and the render paths; under -race this is the regression
+// test for the -serve scrape-while-running contract.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	g := NewRegistry()
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 2000
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			h := g.Histogram("shared.ns")
+			for i := 0; i < perWriter; i++ {
+				g.AddCounter("hits", 1)
+				g.SetGauge("depth", float64(i))
+				h.Observe(int64(i))
+				g.Histogram("own.ns").Observe(int64(wr*perWriter + i))
+			}
+		}(wr)
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = g.Counter("hits")
+				_ = g.Gauge("depth")
+				_ = g.Counters()
+				_ = g.Histogram("shared.ns").Quantile(0.5)
+				_ = g.Histogram("shared.ns").Mean()
+				_ = g.TotalDuration("own.ns")
+				var buf bytes.Buffer
+				if err := g.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				buf.Reset()
+				if err := g.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Counter("hits"); got != writers*perWriter {
+		t.Errorf("hits = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Histogram("shared.ns").Snapshot().Count; got != writers*perWriter {
+		t.Errorf("shared histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestLiveSummaryWhileEmitting reads Summary and LiveMetrics concurrently
+// with a thread emitting on its lane — the live scrape path. Under -race
+// this proves the single-writer atomic counters carry no data race; the
+// final counts stay exact.
+func TestLiveSummaryWhileEmitting(t *testing.T) {
+	r := NewRecorder()
+	const n = 5000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tt := r.Lane(3)
+		for i := 0; i < n; i++ {
+			tt.Emit(KindSchedule, 1, 0, int64(i))
+		}
+	}()
+	for {
+		sum := r.Summary()
+		if sum.Counts[KindSchedule] > n {
+			t.Fatalf("live count %d exceeds emitted %d", sum.Counts[KindSchedule], n)
+		}
+		_ = r.LiveMetrics().Counter("events.schedule")
+		select {
+		case <-done:
+			if got := r.Summary().Counts[KindSchedule]; got != n {
+				t.Fatalf("final count = %d, want %d", got, n)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// promLine validates one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+$|^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRecorder()
+	tt := r.Lane(0)
+	tt.Emit(KindStallBegin, 2, 7, 0)
+	tt.Emit(KindStallEnd, 2, 7, 0)
+	tt.Emit(KindQueueDepth, 5, 0, 0)
+	g := r.Metrics()
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE crossinv_events_stall_begin_total counter",
+		"crossinv_events_stall_begin_total 1",
+		"# TYPE crossinv_trace_lanes gauge",
+		"# TYPE crossinv_queue_depth histogram",
+		"crossinv_queue_depth_bucket{le=\"+Inf\"} 1",
+		"crossinv_queue_depth_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WritePrometheus output missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// MetricPrefix namespaces every exported Prometheus metric name.
+const MetricPrefix = "crossinv_"
+
+// PromName converts a registry metric name to a valid Prometheus metric
+// name: the crossinv_ prefix plus the name with every character outside
+// [a-zA-Z0-9_] replaced by '_' (registry names use dots and dashes).
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString(MetricPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters get a _total suffix, gauges export
+// verbatim, and the power-of-two histograms export as native Prometheus
+// histograms with cumulative le buckets at the power-of-two edges plus
+// _sum and _count. Rendering works from a consistent snapshot, so it is
+// safe against concurrent feeders — this is the /metrics surface of
+// crossinv -serve.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	g.mu.Lock()
+	counters := make(map[string]int64, len(g.counters))
+	for n, v := range g.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(g.gauges))
+	for n, v := range g.gauges {
+		gauges[n] = v
+	}
+	histograms := make(map[string]HistogramSnapshot, len(g.histograms))
+	for n, h := range g.histograms {
+		histograms[n] = h.Snapshot()
+	}
+	g.mu.Unlock()
+
+	var names []string
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writePromHistogram(w, PromName(n), histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram: cumulative buckets only up to
+// the highest populated power-of-two edge (the 65-bucket backing array is
+// mostly empty), then +Inf, _sum, and _count.
+func writePromHistogram(w io.Writer, pn string, s HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	top := 0
+	for i, c := range s.Buckets {
+		if c != 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top && i < 63; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, int64(1)<<uint(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count); err != nil {
+		return err
+	}
+	return nil
+}

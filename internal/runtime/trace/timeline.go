@@ -34,7 +34,7 @@ func (r *Recorder) WriteTimeline(w io.Writer) error {
 		return nil
 	}
 	for _, t := range r.laneList() {
-		s := laneSummary{lane: t.lane, events: int64(t.n), dropped: t.dropped(), first: -1}
+		s := laneSummary{lane: t.lane, events: int64(t.n.Load()), dropped: t.dropped(), first: -1}
 		var open [len(spanClasses)][]int64
 		for _, e := range t.events() {
 			if s.first < 0 {

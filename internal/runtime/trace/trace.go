@@ -13,6 +13,8 @@
 //     (a *ThreadTrace); emission appends to the lane's private ring
 //     buffer and bumps the lane's private per-kind counters. The only
 //     lock is taken at lane registration (once per thread per run).
+//     The counters are single-writer atomics, so a monitoring goroutine
+//     (crossinv -serve) can read a live Summary while engines emit.
 //  3. Bounded memory. Each lane is a fixed-capacity ring; when a run
 //     emits more events than fit, the oldest events are overwritten and
 //     counted as dropped. The per-kind counters never drop, so counts
@@ -31,6 +33,7 @@ package trace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -283,15 +286,21 @@ func (r *Recorder) laneList() []*ThreadTrace {
 
 // ThreadTrace is one lane's private event sink. All methods are no-ops
 // on a nil receiver.
+//
+// The counters (counts, sums, n) are written only by the lane's owning
+// thread but stored atomically, so Summary may read them from another
+// goroutine at any time without a data race. The ring entries themselves
+// are plain memory: only the quiescent consumers (Metrics, Events, the
+// Chrome and timeline exporters) walk them.
 type ThreadTrace struct {
 	rec  *Recorder
 	lane int32
 	ring []Event
 	mask uint64
-	n    uint64 // total events emitted; ring write cursor
+	n    atomic.Uint64 // total events emitted; ring write cursor
 
-	counts [KindCount]int64 // exact per-kind event counts (never drop)
-	sums   [KindCount]int64 // exact per-kind sums of argument A
+	counts [KindCount]atomic.Int64 // exact per-kind event counts (never drop)
+	sums   [KindCount]atomic.Int64 // exact per-kind sums of argument A
 }
 
 // Enabled reports whether emissions on this handle record anything;
@@ -313,19 +322,23 @@ func (t *ThreadTrace) Emit(k Kind, a, b, c int64) {
 }
 
 func (t *ThreadTrace) emit(k Kind, a, b, c int64) {
-	t.counts[k]++
-	t.sums[k] += a
-	t.ring[t.n&t.mask] = Event{Nanos: t.rec.now(), Lane: t.lane, Kind: k, A: a, B: b, C: c}
-	t.n++
+	// Single writer per lane: Load+Store (not Add) keeps the hot path a
+	// plain read plus one atomic store per counter.
+	t.counts[k].Store(t.counts[k].Load() + 1)
+	t.sums[k].Store(t.sums[k].Load() + a)
+	n := t.n.Load()
+	t.ring[n&t.mask] = Event{Nanos: t.rec.now(), Lane: t.lane, Kind: k, A: a, B: b, C: c}
+	t.n.Store(n + 1)
 }
 
 // events returns the lane's surviving ring contents, oldest first.
 func (t *ThreadTrace) events() []Event {
-	if t.n <= uint64(len(t.ring)) {
-		return t.ring[:t.n]
+	n := t.n.Load()
+	if n <= uint64(len(t.ring)) {
+		return t.ring[:n]
 	}
 	out := make([]Event, 0, len(t.ring))
-	for i := t.n - uint64(len(t.ring)); i < t.n; i++ {
+	for i := n - uint64(len(t.ring)); i < n; i++ {
 		out = append(out, t.ring[i&t.mask])
 	}
 	return out
@@ -333,10 +346,11 @@ func (t *ThreadTrace) events() []Event {
 
 // dropped reports how many of the lane's events were overwritten.
 func (t *ThreadTrace) dropped() int64 {
-	if t.n <= uint64(len(t.ring)) {
+	n := t.n.Load()
+	if n <= uint64(len(t.ring)) {
 		return 0
 	}
-	return int64(t.n) - int64(len(t.ring))
+	return int64(n) - int64(len(t.ring))
 }
 
 // Summary is the exact per-kind accounting of a recorder: event counts
@@ -351,9 +365,11 @@ type Summary struct {
 	Lanes   int
 }
 
-// Summary aggregates the per-lane counters. Call it only while the
-// recorded engines are quiescent (between windows, or after a run): the
-// counters are written without synchronization by their owning threads.
+// Summary aggregates the per-lane counters. The counters are single-
+// writer atomics, so Summary is safe to call at any time: while engines
+// are quiescent (between windows, or after a run) it is exact; while they
+// run it is a live monotone snapshot whose counts may lag the emitting
+// threads by a few events (each lane's counters are read independently).
 // On a nil recorder it returns the zero Summary.
 func (r *Recorder) Summary() Summary {
 	var s Summary
@@ -362,10 +378,10 @@ func (r *Recorder) Summary() Summary {
 	}
 	for _, t := range r.laneList() {
 		for k := Kind(0); k < KindCount; k++ {
-			s.Counts[k] += t.counts[k]
-			s.Sums[k] += t.sums[k]
+			s.Counts[k] += t.counts[k].Load()
+			s.Sums[k] += t.sums[k].Load()
 		}
-		s.Events += int64(t.n)
+		s.Events += int64(t.n.Load())
 		s.Dropped += t.dropped()
 		s.Lanes++
 	}

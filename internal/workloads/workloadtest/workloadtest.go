@@ -151,6 +151,10 @@ func EnginesMatchSequential(t *testing.T, name string) {
 			}
 			rec := trace.NewRecorder()
 			cfg := adaptive.Config{Workers: 4, Trace: rec}
+			// The speculative windows must use the workload's signature
+			// scheme: Range summaries on an Exact workload conflict
+			// constantly and every window would misspeculate.
+			cfg.Spec.SigKind = kind
 			if dist, ok := profiled(); ok {
 				cfg.Spec.SpecDistance = dist
 			} else if raceflag.Enabled {

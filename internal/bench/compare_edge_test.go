@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareEdgeCases is the table-driven edge sweep of the significance
+// gate: sample counts too small for the normal approximation, fully tied
+// samples, and environment mismatches each have a pinned behaviour, so a
+// future stats refactor cannot silently change what gates CI.
+func TestCompareEdgeCases(t *testing.T) {
+	scale := func(samples []float64, f float64) []float64 {
+		out := append([]float64(nil), samples...)
+		for i := range out {
+			out[i] *= f
+		}
+		return out
+	}
+	const cell = "domore/CG"
+
+	cases := []struct {
+		name string
+		old  []float64
+		cur  []float64
+		env  func(*Env) // mutates cur's env; nil = identical envs
+		opts CompareOptions
+
+		wantFailed       bool
+		wantRegressions  int
+		wantImprovements int
+		// wantP, when >= 0, pins the matched cell's p-value exactly
+		// (abstentions return exactly 1).
+		wantP float64
+	}{
+		{
+			// Three samples a side is below the n>=4 floor of the normal
+			// approximation: the test must abstain (p = 1) no matter how
+			// large the shift, rather than emit a bogus p-value.
+			name:  "n3-abstains-despite-2x-slowdown",
+			old:   []float64{1000, 1010, 990},
+			cur:   []float64{2000, 2020, 1980},
+			wantP: 1,
+		},
+		{
+			// One side below the floor is enough to abstain.
+			name:  "asymmetric-n3-vs-n8-abstains",
+			old:   []float64{1000, 1010, 990},
+			cur:   scale([]float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008}, 2),
+			wantP: 1,
+		},
+		{
+			// n = 4 is the boundary: a fully separated 2x shift is
+			// significant again, proving the abstention window is exactly
+			// n < 4 and the gate re-arms immediately past it.
+			name:            "n4-boundary-detects-2x-slowdown",
+			old:             []float64{1000, 1010, 990, 1005},
+			cur:             []float64{2000, 2020, 1980, 2010},
+			wantFailed:      true,
+			wantRegressions: 1,
+			wantP:           -1,
+		},
+		{
+			// Every observation identical on both sides: the rank variance
+			// is zero and the test must declare "no evidence" (p = 1), not
+			// divide by zero.
+			name:  "all-ties-both-sides-abstains",
+			old:   []float64{1000, 1000, 1000, 1000, 1000},
+			cur:   []float64{1000, 1000, 1000, 1000, 1000},
+			wantP: 1,
+		},
+		{
+			// Ties within each side must NOT blind the gate when the sides
+			// are separated: constant 1000 vs constant 2000 is the clearest
+			// possible regression.
+			name:            "constant-sides-separated-still-gates",
+			old:             []float64{1000, 1000, 1000, 1000, 1000},
+			cur:             []float64{2000, 2000, 2000, 2000, 2000},
+			wantFailed:      true,
+			wantRegressions: 1,
+			wantP:           -1,
+		},
+		{
+			// A real regression measured under a different environment is
+			// counted and reported but demoted: cross-machine deltas never
+			// gate.
+			name:            "env-mismatch-demotes-regression",
+			old:             []float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+			cur:             scale([]float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008}, 2),
+			env:             func(e *Env) { e.CPUModel = "othercpu" },
+			wantRegressions: 1,
+			wantP:           -1,
+		},
+		{
+			// Any single differing env field triggers the demotion, not
+			// just the CPU model.
+			name:            "go-version-mismatch-demotes",
+			old:             []float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+			cur:             scale([]float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008}, 2),
+			env:             func(e *Env) { e.GoVersion = "go1.23" },
+			wantRegressions: 1,
+			wantP:           -1,
+		},
+		{
+			// Env mismatch with clean numbers: nothing reported, nothing
+			// gated — the warning alone is not a failure.
+			name:  "env-mismatch-without-regression-passes",
+			old:   []float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+			cur:   []float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+			env:   func(e *Env) { e.GOMAXPROCS = 2 },
+			wantP: -1,
+		},
+		{
+			// An improvement under matching envs is never a failure.
+			name:             "improvement-never-gates",
+			old:              []float64{2000, 2020, 1980, 2010, 1990, 2005, 1995, 2015},
+			cur:              []float64{1000, 1010, 990, 1005, 995, 1002, 998, 1008},
+			wantImprovements: 1,
+			wantP:            -1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := fixture(map[string][]float64{cell: tc.old})
+			cur := fixture(map[string][]float64{cell: tc.cur})
+			if tc.env != nil {
+				tc.env(&cur.Env)
+			}
+			cr := Compare(old, cur, tc.opts)
+
+			if cr.Failed() != tc.wantFailed {
+				t.Errorf("Failed() = %v, want %v", cr.Failed(), tc.wantFailed)
+			}
+			if cr.Regressions != tc.wantRegressions {
+				t.Errorf("Regressions = %d, want %d", cr.Regressions, tc.wantRegressions)
+			}
+			if cr.Improvements != tc.wantImprovements {
+				t.Errorf("Improvements = %d, want %d", cr.Improvements, tc.wantImprovements)
+			}
+			if (cr.EnvMismatch()) != (tc.env != nil) {
+				t.Errorf("EnvMismatch() = %v, want %v (%v)", cr.EnvMismatch(), tc.env != nil, cr.EnvWarnings)
+			}
+			if len(cr.Deltas) != 1 {
+				t.Fatalf("Deltas = %d, want 1", len(cr.Deltas))
+			}
+			d := cr.Deltas[0]
+			if tc.wantP >= 0 && d.P != tc.wantP {
+				t.Errorf("cell p = %v, want exactly %v (abstention)", d.P, tc.wantP)
+			}
+			if tc.wantP == 1 && d.Significant {
+				t.Errorf("abstained cell marked significant: %+v", d)
+			}
+
+			// The report must always render, and demoted regressions must
+			// carry the not-gated note.
+			var sb strings.Builder
+			if err := cr.WriteTable(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if cr.Regressions > 0 && cr.EnvMismatch() && !strings.Contains(sb.String(), "not gated") {
+				t.Errorf("demoted regression lacks the not-gated note:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+// TestMannWhitneyAbstentionBoundary pins the exact abstention floor of
+// the raw statistic, independent of Compare's threshold logic.
+func TestMannWhitneyAbstentionBoundary(t *testing.T) {
+	a3 := []float64{1, 2, 3}
+	a4 := []float64{1, 2, 3, 4}
+	b4 := []float64{100, 200, 300, 400}
+	if p := MannWhitneyP(a3, b4); p != 1 {
+		t.Errorf("MannWhitneyP(n=3, n=4) = %v, want 1", p)
+	}
+	if p := MannWhitneyP(b4, a3); p != 1 {
+		t.Errorf("MannWhitneyP(n=4, n=3) = %v, want 1", p)
+	}
+	if p := MannWhitneyP(a4, b4); p >= 0.05 {
+		t.Errorf("MannWhitneyP(n=4, n=4, fully separated) = %v, want < 0.05", p)
+	}
+	if p := MannWhitneyP(nil, nil); p != 1 {
+		t.Errorf("MannWhitneyP(empty, empty) = %v, want 1", p)
+	}
+}

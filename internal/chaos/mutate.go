@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"fmt"
+
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/workloads/epochal"
+)
+
+// Mutation names a deliberately injected engine-contract bug, applied at
+// the instrumentation boundary between a workload and the engines. Each
+// one models a realistic compiler/runtime defect — a ComputeAddr slice
+// that misses an access, spec_access instrumentation that skips a store,
+// a rollback that does not actually restore — and exists to prove the
+// harness *detects* such bugs: a differential run over a mutated workload
+// must fail and shrink to a replayable case.
+type Mutation string
+
+const (
+	// MutNone applies no mutation.
+	MutNone Mutation = ""
+	// MutDropAddr makes ComputeAddr omit the first address whenever an
+	// iteration has more than one, so the DOMORE scheduler misses the
+	// dependences through that address and forwards no sync condition.
+	MutDropAddr Mutation = "drop-addr"
+	// MutDropSigWrite makes speculative tasks omit their first write from
+	// the recorded signature, so the SPECCROSS checker can miss a real
+	// cross-epoch conflict and commit a violated segment.
+	MutDropSigWrite Mutation = "drop-sig-write"
+	// MutSkipRestore turns Restore into a no-op, so misspeculation
+	// recovery re-executes on top of poisoned speculative state.
+	MutSkipRestore Mutation = "skip-restore"
+)
+
+// Mutations lists the non-empty mutation kinds.
+func Mutations() []Mutation {
+	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore}
+}
+
+// ParseMutation validates a -mutate flag value.
+func ParseMutation(s string) (Mutation, error) {
+	m := Mutation(s)
+	switch m {
+	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore:
+		return m, nil
+	}
+	return MutNone, fmt.Errorf("chaos: unknown mutation %q", s)
+}
+
+// Faults is the fault plan that makes the mutation's broken path run:
+// skip-restore is only reachable through a misspeculation recovery, so it
+// pairs with a deterministic injected panic (plus the torn-state scribble
+// the skipped restore then fails to repair). The other mutations corrupt
+// paths every run exercises and need no help.
+func (m Mutation) Faults() FaultPlan {
+	if m == MutSkipRestore {
+		return FaultPlan{Panic: true, TornState: true}
+	}
+	return FaultPlan{}
+}
+
+// MutationCatcher is a hand-built case on which every Mutation produces a
+// near-deterministic divergence: pairs of epochs where a slow writer
+// (epoch 2i, task 0: a long spin, then a store to cell 2i) is followed by
+// a fast cross-epoch reader (epoch 2i+1, task 1: load cell 2i, store cell
+// 2i+1). Any engine that loses the dependence — a dropped ComputeAddr
+// entry, a write missing from a signature, a restore that never happens —
+// lets the reader observe the pre-write value while the writer is still
+// spinning, and the final state diverges from the oracle. Three pairs
+// make the case span multiple SPECCROSS segments and adaptive windows at
+// the defaults.
+func MutationCatcher() *Spec {
+	s := &Spec{
+		Name:     "chaos-mutation-catcher",
+		StateLen: 6,
+		SigKind:  "exact",
+	}
+	for i := 0; i < 3; i++ {
+		a := uint64(2 * i)
+		s.Epochs = append(s.Epochs,
+			EpochSpec{Tasks: []TaskSpec{
+				{Writes: []uint64{a}, Work: 200000},
+				{},
+			}},
+			EpochSpec{Tasks: []TaskSpec{
+				{},
+				{Reads: []uint64{a}, Writes: []uint64{a + 1}},
+			}},
+		)
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Wrap applies the mutation to a case's kernel. MutNone returns the
+// kernel unchanged.
+func (m Mutation) Wrap(k *epochal.Kernel) adaptive.Workload {
+	if m == MutNone {
+		return k
+	}
+	return &mutated{k: k, m: m}
+}
+
+type mutated struct {
+	k *epochal.Kernel
+	m Mutation
+}
+
+func (w *mutated) Invocations() int         { return w.k.Invocations() }
+func (w *mutated) Iterations(inv int) int   { return w.k.Iterations(inv) }
+func (w *mutated) Sequential(inv int)       { w.k.Sequential(inv) }
+func (w *mutated) Execute(inv, iter, t int) { w.k.Execute(inv, iter, t) }
+func (w *mutated) Epochs() int              { return w.k.Epochs() }
+func (w *mutated) Tasks(epoch int) int      { return w.k.Tasks(epoch) }
+func (w *mutated) Snapshot() any            { return w.k.Snapshot() }
+
+func (w *mutated) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
+	out := w.k.ComputeAddr(inv, iter, buf)
+	if w.m == MutDropAddr && len(out) > 1 {
+		copy(out, out[1:])
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func (w *mutated) Run(epoch, task, tid int, sig *signature.Signature) {
+	if w.m == MutDropSigWrite && sig != nil {
+		r, wr := w.k.Access(epoch, task, nil, nil)
+		for _, a := range r {
+			sig.Read(a)
+		}
+		for i, a := range wr {
+			if i > 0 {
+				sig.Write(a)
+			}
+		}
+		// State effects are untouched — only the recorded evidence lies.
+		w.k.Update(epoch, task)
+		return
+	}
+	w.k.Run(epoch, task, tid, sig)
+}
+
+func (w *mutated) Restore(snap any) {
+	if w.m == MutSkipRestore {
+		return
+	}
+	w.k.Restore(snap)
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/workloads"
+	"crossinv/internal/workloads/workloadtest"
+)
+
+var plugOnce sync.Once
+
+// registerPlugSpecs adds a few chaos cases to the benchmark registry so
+// the shared workloadtest harness can drive them exactly like the
+// hand-written workloads — the proof that generated cases speak the same
+// interfaces. Registration happens from the test (not package init) so
+// the chaos package never pollutes the registry for other importers.
+func registerPlugSpecs() {
+	add := func(spec *Spec) {
+		workloads.Register(workloads.Entry{
+			Name:     "chaos/" + spec.Name,
+			Suite:    "chaos",
+			Function: "generated",
+			Plan:     "epochal kernel",
+			DomoreOK: true,
+			SpecOK:   true,
+			Exact:    spec.Kind() == signature.Exact,
+			Make:     func(scale int) workloads.Instance { return spec.Kernel() },
+		})
+	}
+	add(MutationCatcher())
+	for _, seed := range []uint64{2, 5, 11} {
+		add(Generate(seed))
+	}
+}
+
+// TestGeneratedSpecsPlugIntoWorkloadtest runs generated chaos cases
+// through the repo's standard engine-equivalence harness.
+func TestGeneratedSpecsPlugIntoWorkloadtest(t *testing.T) {
+	plugOnce.Do(registerPlugSpecs)
+	names := []string{"chaos/chaos-mutation-catcher"}
+	for _, seed := range []uint64{2, 5, 11} {
+		names = append(names, fmt.Sprintf("chaos/chaos-%d", seed))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			workloadtest.EnginesMatchSequential(t, name)
+		})
+	}
+}

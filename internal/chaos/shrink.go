@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is the replayable record of a failing case: the reduced Spec
+// plus everything needed to re-run it exactly — worker count, segment and
+// window lengths, fault plan, mutation — and the failures observed. The
+// JSON form is what the shrinker writes to testdata/ and what cmd/chaos
+// -replay consumes (LoadSpec also accepts it wherever a bare Spec works).
+type Artifact struct {
+	Seed            uint64    `json:"seed,omitempty"`
+	Workers         int       `json:"workers"`
+	CheckpointEvery int       `json:"checkpoint_every"`
+	Window          int       `json:"window"`
+	Faults          string    `json:"faults"`
+	Mutation        string    `json:"mutation,omitempty"`
+	Failures        []Failure `json:"failures,omitempty"`
+	Spec            *Spec     `json:"spec"`
+}
+
+// NewArtifact packages a failing case for serialization.
+func NewArtifact(seed uint64, opts Options, spec *Spec, fails []Failure) *Artifact {
+	opts.fill()
+	return &Artifact{
+		Seed:            seed,
+		Workers:         opts.Workers,
+		CheckpointEvery: opts.CheckpointEvery,
+		Window:          opts.Window,
+		Faults:          opts.Faults.String(),
+		Mutation:        string(opts.Mutation),
+		Failures:        fails,
+		Spec:            spec,
+	}
+}
+
+// Options rebuilds the run options the artifact records. The fault seed
+// reuses the case seed, matching what the original run used.
+func (a *Artifact) Options() (Options, error) {
+	faults, err := ParseFaults(a.Faults, a.Seed)
+	if err != nil {
+		return Options{}, err
+	}
+	mut, err := ParseMutation(a.Mutation)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		Workers:         a.Workers,
+		CheckpointEvery: a.CheckpointEvery,
+		Window:          a.Window,
+		Faults:          faults,
+		Mutation:        mut,
+	}, nil
+}
+
+// WriteFile serializes the artifact into dir (created if needed) as
+// <spec name>.json and returns the path.
+func (a *Artifact) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	name := a.Spec.Name
+	if name == "" {
+		name = fmt.Sprintf("chaos-%d", a.Seed)
+	}
+	path := filepath.Join(dir, name+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact (or a bare Spec, which gets default run
+// settings) from a JSON file and validates the embedded case.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %v", path, err)
+	}
+	if art.Spec == nil {
+		spec := &Spec{}
+		if err := json.Unmarshal(data, spec); err != nil {
+			return nil, fmt.Errorf("chaos: %s: %v", path, err)
+		}
+		art = Artifact{Faults: "none", Spec: spec}
+	}
+	if err := art.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %s: %v", path, err)
+	}
+	return &art, nil
+}
+
+// Clone deep-copies a spec so shrink candidates never share slices.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Epochs = make([]EpochSpec, len(s.Epochs))
+	for i := range s.Epochs {
+		tasks := make([]TaskSpec, len(s.Epochs[i].Tasks))
+		for j, t := range s.Epochs[i].Tasks {
+			tasks[j] = TaskSpec{
+				Reads:  append([]uint64(nil), t.Reads...),
+				Writes: append([]uint64(nil), t.Writes...),
+				Work:   t.Work,
+			}
+		}
+		c.Epochs[i].Tasks = tasks
+	}
+	return &c
+}
+
+// Shrink greedily reduces a failing case while preserving some failure
+// (not necessarily the original one — any divergence from the oracle
+// keeps a candidate). Reductions, coarse to fine: remove epoch chunks,
+// remove single epochs, remove tasks, remove individual reads/writes,
+// zero spin work, and finally trim the state array to the addresses
+// still used. Failures in this harness are concurrent-schedule dependent,
+// so a candidate only counts as "still failing" if it fails within tries
+// repetitions (each repetition runs untraced and traced); the returned
+// failures come from the last failing re-run of the final spec. Returns
+// (nil, nil) if the input never reproduces at all.
+func Shrink(spec *Spec, opts Options, tries int) (*Spec, []Failure) {
+	if tries <= 0 {
+		tries = 3
+	}
+	repro := func(s *Spec) []Failure {
+		for i := 0; i < tries; i++ {
+			for _, traced := range []bool{false, true} {
+				o := opts
+				o.Traced = traced
+				if f := RunSpec(s, o); len(f) > 0 {
+					return f
+				}
+			}
+		}
+		return nil
+	}
+
+	cur := spec.Clone()
+	best := repro(cur)
+	if best == nil {
+		return nil, nil
+	}
+	accept := func(cand *Spec) bool {
+		if f := repro(cand); f != nil {
+			cur, best = cand, f
+			return true
+		}
+		return false
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+
+		// Epoch chunks, halving granularity down to single epochs.
+		for chunk := len(cur.Epochs) / 2; chunk >= 1; chunk /= 2 {
+			for i := 0; i+chunk <= len(cur.Epochs) && len(cur.Epochs) > chunk; {
+				cand := cur.Clone()
+				cand.Epochs = append(cand.Epochs[:i], cand.Epochs[i+chunk:]...)
+				if accept(cand) {
+					improved = true
+				} else {
+					i += chunk
+				}
+			}
+		}
+
+		// Single tasks (epoch removal above handles emptying an epoch).
+		for e := 0; e < len(cur.Epochs); e++ {
+			for t := 0; t < len(cur.Epochs[e].Tasks); {
+				if len(cur.Epochs[e].Tasks) == 1 {
+					break
+				}
+				cand := cur.Clone()
+				cand.Epochs[e].Tasks = append(cand.Epochs[e].Tasks[:t], cand.Epochs[e].Tasks[t+1:]...)
+				if accept(cand) {
+					improved = true
+				} else {
+					t++
+				}
+			}
+		}
+
+		// Individual accesses and spin work.
+		for e := 0; e < len(cur.Epochs); e++ {
+			for t := 0; t < len(cur.Epochs[e].Tasks); t++ {
+				for r := 0; r < len(cur.Epochs[e].Tasks[t].Reads); {
+					cand := cur.Clone()
+					ts := &cand.Epochs[e].Tasks[t]
+					ts.Reads = append(ts.Reads[:r], ts.Reads[r+1:]...)
+					if accept(cand) {
+						improved = true
+					} else {
+						r++
+					}
+				}
+				for w := 0; w < len(cur.Epochs[e].Tasks[t].Writes); {
+					cand := cur.Clone()
+					ts := &cand.Epochs[e].Tasks[t]
+					ts.Writes = append(ts.Writes[:w], ts.Writes[w+1:]...)
+					if accept(cand) {
+						improved = true
+					} else {
+						w++
+					}
+				}
+				if cur.Epochs[e].Tasks[t].Work != 0 {
+					cand := cur.Clone()
+					cand.Epochs[e].Tasks[t].Work = 0
+					if accept(cand) {
+						improved = true
+					}
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+
+	// Trim the state array to the addresses the reduced case still uses.
+	maxAddr := uint64(0)
+	for e := range cur.Epochs {
+		for t := range cur.Epochs[e].Tasks {
+			for _, a := range cur.Epochs[e].Tasks[t].Reads {
+				if a > maxAddr {
+					maxAddr = a
+				}
+			}
+			for _, a := range cur.Epochs[e].Tasks[t].Writes {
+				if a > maxAddr {
+					maxAddr = a
+				}
+			}
+		}
+	}
+	if int(maxAddr)+1 < cur.StateLen {
+		cand := cur.Clone()
+		cand.StateLen = int(maxAddr) + 1
+		accept(cand)
+	}
+
+	cur.Name = spec.Name + "-shrunk"
+	return cur, best
+}

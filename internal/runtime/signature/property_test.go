@@ -1,0 +1,208 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildAll records the same reads/writes into one Signature per kind, so
+// properties can be checked up and down the precision ladder.
+func buildAll(reads, writes []uint64) map[Kind]*Signature {
+	sigs := map[Kind]*Signature{}
+	for _, k := range []Kind{Range, Bloom, Exact} {
+		s := New(k)
+		for _, a := range reads {
+			s.Read(a)
+		}
+		for _, a := range writes {
+			s.Write(a)
+		}
+		sigs[k] = s
+	}
+	return sigs
+}
+
+// TestExactConflictImpliesApproximate is the precision-ladder property:
+// the exact signature never reports a false positive, so whenever it
+// reports a conflict the conflict is real — and a sound approximate
+// scheme (Range, Bloom) must then report it too. A violation means the
+// approximate scheme can miss a true cross-epoch dependence, which in
+// SPECCROSS silently commits a wrong result instead of misspeculating.
+func TestExactConflictImpliesApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		// Small address universe so real overlaps are common.
+		universe := uint64(rng.Intn(200)) + 2
+		draw := func() []uint64 {
+			n := rng.Intn(12)
+			addrs := make([]uint64, n)
+			for i := range addrs {
+				addrs[i] = uint64(rng.Intn(int(universe)))
+			}
+			return addrs
+		}
+		a := buildAll(draw(), draw())
+		b := buildAll(draw(), draw())
+
+		if !a[Exact].Conflicts(b[Exact]) {
+			continue
+		}
+		for _, k := range []Kind{Range, Bloom} {
+			if !a[k].Conflicts(b[k]) {
+				t.Fatalf("trial %d: exact signatures conflict but %v misses it (false negative)", trial, k)
+			}
+		}
+	}
+}
+
+// TestConflictSymmetry checks Conflicts is symmetric for every kind: the
+// checker compares epoch signatures in one direction only.
+func TestConflictSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		draw := func() []uint64 {
+			n := rng.Intn(8)
+			addrs := make([]uint64, n)
+			for i := range addrs {
+				addrs[i] = uint64(rng.Intn(64))
+			}
+			return addrs
+		}
+		a := buildAll(draw(), draw())
+		b := buildAll(draw(), draw())
+		for _, k := range []Kind{Range, Bloom, Exact} {
+			if a[k].Conflicts(b[k]) != b[k].Conflicts(a[k]) {
+				t.Fatalf("trial %d: %v Conflicts is asymmetric", trial, k)
+			}
+		}
+	}
+}
+
+// TestBloomProbeCollisionAddresses regression-tests the partitioned-probe
+// fix: with a single shared bit space, addresses whose probe hashes
+// collide modulo the filter width (53, 532, 1431, ... for 2048 bits) set
+// fewer than bloomHashes distinct bits, and two filters sharing only such
+// an address failed the >= bloomHashes common-bit test — a false
+// negative. Partitioning guarantees k distinct bits per address.
+func TestBloomProbeCollisionAddresses(t *testing.T) {
+	for _, addr := range []uint64{53, 532, 1431, 2050, 2283} {
+		a := NewBloomSet(DefaultBloomBits)
+		b := NewBloomSet(DefaultBloomBits)
+		a.Add(addr)
+		b.Add(addr)
+		if !a.Intersects(b) {
+			t.Errorf("two bloom filters sharing only address %d do not intersect (false negative)", addr)
+		}
+	}
+}
+
+// TestBloomSingleSharedAddressExhaustive sweeps a large address range:
+// for every address, a filter containing exactly that address must
+// intersect another filter containing it. This is the strongest
+// no-false-negative statement a unit test can make about one element.
+func TestBloomSingleSharedAddressExhaustive(t *testing.T) {
+	a := NewBloomSet(DefaultBloomBits)
+	b := NewBloomSet(DefaultBloomBits)
+	for addr := uint64(0); addr < 50_000; addr++ {
+		a.Reset()
+		b.Reset()
+		a.Add(addr)
+		b.Add(addr)
+		if !a.Intersects(b) {
+			t.Fatalf("address %d: singleton bloom filters do not intersect", addr)
+		}
+	}
+}
+
+// TestBloomSaturation pins the behaviour of a Bloom signature at high
+// fill factors: it degrades to "conflicts with everything" (false
+// positives approach certainty) but stays sound. Past roughly one address
+// per bit, nearly every bit is set, so a disjoint probe set still finds
+// >= bloomHashes common bits — the filter is useless but never unsafe.
+func TestBloomSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	saturated := NewBloomSet(DefaultBloomBits)
+	for i := 0; i < 4*DefaultBloomBits; i++ {
+		saturated.Add(uint64(rng.Int63()))
+	}
+
+	// Soundness survives saturation: a genuinely shared address conflicts.
+	shared := uint64(1234567)
+	saturated.Add(shared)
+	probe := NewBloomSet(DefaultBloomBits)
+	probe.Add(shared)
+	if !saturated.Intersects(probe) {
+		t.Fatal("saturated filter misses a genuinely shared address")
+	}
+
+	// And disjoint probes now false-positive essentially always — the
+	// documented trade-off that motivates the Exact kind for tasks whose
+	// footprints saturate the filter.
+	falsePositives := 0
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		p := NewBloomSet(DefaultBloomBits)
+		p.Add(uint64(rng.Int63())<<32 | 1) // fresh addresses, almost surely not in the fill set
+		if saturated.Intersects(p) {
+			falsePositives++
+		}
+	}
+	if falsePositives < probes*9/10 {
+		t.Errorf("saturated filter false-positived on only %d/%d disjoint probes; saturation behaviour changed", falsePositives, probes)
+	}
+}
+
+// decodeLadderCase turns fuzz bytes into two signatures' access logs.
+// Each 3-byte record is (flags, addrHi, addrLo): flags bit0 selects the
+// signature, bit1 selects read vs write.
+func decodeLadderCase(data []byte) (ra, wa, rb, wb []uint64) {
+	for i := 0; i+2 < len(data); i += 3 {
+		addr := uint64(data[i+1])<<8 | uint64(data[i+2])
+		switch data[i] & 3 {
+		case 0:
+			ra = append(ra, addr)
+		case 2:
+			wa = append(wa, addr)
+		case 1:
+			rb = append(rb, addr)
+		case 3:
+			wb = append(wb, addr)
+		}
+	}
+	return
+}
+
+// FuzzKindLadder fuzzes the precision-ladder property directly: for any
+// pair of access logs, an exact-signature conflict must be reported by
+// Bloom and by Range too (approximate kinds may false-positive, never
+// false-negative), Conflicts must be symmetric, and empty signatures must
+// conflict with nothing.
+func FuzzKindLadder(f *testing.F) {
+	f.Add([]byte{2, 0, 53, 3, 0, 53})        // shared write at probe-collision addr 53
+	f.Add([]byte{0, 0, 7, 1, 0, 7})          // read/read sharing: never a conflict
+	f.Add([]byte{2, 1, 0, 3, 2, 0})          // disjoint writes
+	f.Add([]byte{2, 0, 9, 1, 0, 9, 0, 0, 1}) // write/read overlap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ra, wa, rb, wb := decodeLadderCase(data)
+		a := buildAll(ra, wa)
+		b := buildAll(rb, wb)
+
+		exact := a[Exact].Conflicts(b[Exact])
+		for _, k := range []Kind{Range, Bloom, Exact} {
+			got := a[k].Conflicts(b[k])
+			if exact && !got {
+				t.Fatalf("%v misses an exact conflict (false negative): A(r=%v w=%v) B(r=%v w=%v)", k, ra, wa, rb, wb)
+			}
+			if got != b[k].Conflicts(a[k]) {
+				t.Fatalf("%v Conflicts is asymmetric", k)
+			}
+			if a[k].Empty() && got {
+				t.Fatalf("%v: empty signature reports a conflict", k)
+			}
+		}
+		// Read/read sharing alone must never conflict under the exact kind.
+		if len(wa) == 0 && len(wb) == 0 && exact {
+			t.Fatalf("exact signatures conflict with no writes on either side")
+		}
+	})
+}

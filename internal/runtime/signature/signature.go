@@ -158,10 +158,16 @@ func bloomHash(addr, seed uint64) uint64 {
 	return x
 }
 
-// Add implements Set.
+// Add implements Set. The filter is partitioned: probe i draws from its
+// own nbits/k segment of the bit vector, so every address sets exactly
+// bloomHashes distinct bits. With a single shared bit space two probes of
+// the same address can collide (addr 53 mod 2048 sets only two distinct
+// bits), and Intersects' >= k common-bit threshold would then miss a true
+// overlap — an unsound signature.
 func (b *BloomSet) Add(addr uint64) {
-	for i := uint64(1); i <= bloomHashes; i++ {
-		bit := bloomHash(addr, i) % b.nbits
+	seg := b.nbits / bloomHashes
+	for i := uint64(0); i < bloomHashes; i++ {
+		bit := i*seg + bloomHash(addr, i+1)%seg
 		b.bits[bit/64] |= 1 << (bit % 64)
 	}
 	b.n++
@@ -169,9 +175,10 @@ func (b *BloomSet) Add(addr uint64) {
 
 // Intersects implements Set.
 //
-// Two Bloom filters may share an element only if, for at least one probe
-// index family, overlapping bits exist; testing the AND of the bit vectors
-// is the standard sound approximation.
+// A shared element sets the same k distinct bits (one per partition
+// segment) in both filters, so requiring at least k common bits in the
+// AND of the bit vectors is sound: it may false-positive on bits set by
+// different elements, but can never miss a true overlap.
 func (b *BloomSet) Intersects(other Set) bool {
 	o, ok := other.(*BloomSet)
 	if !ok {
@@ -183,8 +190,6 @@ func (b *BloomSet) Intersects(other Set) bool {
 	if b.n == 0 || o.n == 0 {
 		return false
 	}
-	// Count overlapping bits; require at least bloomHashes common bits,
-	// since a shared element sets the same k positions in both filters.
 	common := 0
 	for i, w := range b.bits {
 		if x := w & o.bits[i]; x != 0 {

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHookSeesEveryEmission asserts the injection hook fires once per
+// emitted event, on the emitting thread, with the event's arguments — the
+// contract the chaos fault injector relies on to perturb schedules at
+// trace points.
+func TestHookSeesEveryEmission(t *testing.T) {
+	rec := NewRecorder()
+	var calls atomic.Int64
+	var wrongArgs atomic.Int64
+	rec.SetHook(func(lane int32, k Kind, a, b, c int64) {
+		calls.Add(1)
+		if k == KindIterStart && a != int64(lane)*10 {
+			wrongArgs.Add(1)
+		}
+	})
+
+	const lanes, per = 4, 100
+	var wg sync.WaitGroup
+	for l := int32(0); l < lanes; l++ {
+		wg.Add(1)
+		go func(l int32) {
+			defer wg.Done()
+			tt := rec.Lane(l)
+			for i := 0; i < per; i++ {
+				tt.Emit(KindIterStart, int64(l)*10, int64(i), 0)
+			}
+		}(l)
+	}
+	wg.Wait()
+
+	if got := calls.Load(); got != lanes*per {
+		t.Errorf("hook calls = %d, want %d", got, lanes*per)
+	}
+	if wrongArgs.Load() != 0 {
+		t.Errorf("hook observed %d events with mismatched arguments", wrongArgs.Load())
+	}
+	// The hook must not perturb the exact counters.
+	if sum := rec.Summary(); sum.Counts[KindIterStart] != lanes*per {
+		t.Errorf("summary count = %d, want %d", sum.Counts[KindIterStart], lanes*per)
+	}
+}
+
+// TestHookNilSafe asserts hook installation is a no-op on nil recorders
+// and that emission without a hook still works.
+func TestHookNilSafe(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.SetHook(func(int32, Kind, int64, int64, int64) {}) // must not panic
+	nilRec.Lane(0).Emit(KindIterStart, 0, 0, 0)
+
+	rec := NewRecorder()
+	rec.Lane(0).Emit(KindIterStart, 1, 2, 3) // no hook installed
+	if rec.Summary().Counts[KindIterStart] != 1 {
+		t.Error("emission without hook lost")
+	}
+}

@@ -223,12 +223,22 @@ type Event struct {
 // DefaultRingCap is the per-lane event capacity of NewRecorder.
 const DefaultRingCap = 1 << 14
 
+// Hook observes every recorded event synchronously, on the emitting
+// thread, immediately after the event is stored. It exists for fault
+// injection: a chaos harness can install a hook that delays chosen lanes
+// at chosen event kinds, perturbing schedules at exactly the points the
+// engines already mark as interesting (stalls, task starts, queue
+// episodes) without adding new instrumentation sites. Hooks must be fast
+// and must not emit into the same recorder (that would recurse).
+type Hook func(lane int32, k Kind, a, b, c int64)
+
 // Recorder collects events from a set of lanes (one per engine thread).
 // A nil *Recorder is the disabled state: Lane returns nil and every
 // derived accessor returns zero values.
 type Recorder struct {
 	start   time.Time
 	ringCap int
+	hook    Hook
 
 	mu    sync.Mutex
 	lanes map[int32]*ThreadTrace
@@ -266,6 +276,18 @@ func (r *Recorder) Lane(lane int32) *ThreadTrace {
 	t := &ThreadTrace{rec: r, lane: lane, ring: make([]Event, r.ringCap), mask: uint64(r.ringCap - 1)}
 	r.lanes[lane] = t
 	return t
+}
+
+// SetHook installs fn as the recorder's event hook (nil uninstalls it).
+// It must be called before any engine thread emits — the field is read
+// without synchronization on the hot path, so installation is only safe
+// while the recorder is quiescent (the goroutine-spawn edge into the
+// engine's threads publishes it). A nil receiver ignores the call.
+func (r *Recorder) SetHook(fn Hook) {
+	if r == nil {
+		return
+	}
+	r.hook = fn
 }
 
 // now returns nanoseconds since the recorder was constructed.
@@ -329,6 +351,9 @@ func (t *ThreadTrace) emit(k Kind, a, b, c int64) {
 	n := t.n.Load()
 	t.ring[n&t.mask] = Event{Nanos: t.rec.now(), Lane: t.lane, Kind: k, A: a, B: b, C: c}
 	t.n.Store(n + 1)
+	if h := t.rec.hook; h != nil {
+		h(t.lane, k, a, b, c)
+	}
 }
 
 // events returns the lane's surviving ring contents, oldest first.

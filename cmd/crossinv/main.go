@@ -25,31 +25,34 @@
 //	          run (single engine modes only)
 //	-misspec  inject a misspeculation at epoch N (speccross/adaptive)
 //	-serve    serve /metrics (Prometheus text), /summary (JSON), and
-//	          /debug/pprof/ on ADDR while looping the workload (single
-//	          engine modes only; CPU profiles carry engine/lane labels)
+//	          /debug/pprof/ on ADDR while looping the workload (any mode,
+//	          including adaptive and all; CPU profiles carry engine/lane
+//	          labels). The loop is the daemon's ServeWorkloadLoop.
 //	-serve-runs  with -serve: stop after N runs (0: loop until killed)
+//	-remote   send the program to a crossinvd daemon at ADDR instead of
+//	          compiling locally — repeat invocations hit the daemon's
+//	          plan cache and skip analysis entirely
 //
 // Examples:
 //
 //	crossinv -mode all -workers 8 examples/compiler/stencil.lnl
 //	crossinv -mode domore -trace out.json -metrics examples/compiler/cg.lnl
 //	crossinv -mode speccross -misspec 2 -trace spec.json examples/compiler/cg.lnl
-//	crossinv -mode domore -serve localhost:9090 examples/compiler/cg.lnl
+//	crossinv -mode adaptive -serve localhost:9090 examples/compiler/cg.lnl
+//	crossinv -remote localhost:9123 -mode speccross examples/compiler/cg.lnl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
-	"sync/atomic"
 	"time"
 
 	"crossinv/internal/core"
+	"crossinv/internal/daemon"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
-	"crossinv/internal/obs"
 	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
@@ -77,8 +80,10 @@ var (
 	metrics   = flag.Bool("metrics", false, "print the metrics registry and per-thread timeline after the run")
 	misspec   = flag.Int("misspec", 0, "inject a misspeculation at this epoch (speccross/adaptive)")
 
-	serve     = flag.String("serve", "", "serve /metrics, /summary, and /debug/pprof on this address while looping the workload (single engine modes only)")
+	serve     = flag.String("serve", "", "serve /metrics, /summary, and /debug/pprof on this address while looping the workload")
 	serveRuns = flag.Int("serve-runs", 0, "with -serve: stop after this many runs (0: loop until killed)")
+
+	remote = flag.String("remote", "", "run against a crossinvd daemon at this address instead of compiling locally")
 )
 
 func main() {
@@ -103,6 +108,15 @@ func main() {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if *remote != "" {
+		if *report || *lint || *dump || *sweep || *serve != "" || *traceFile != "" || *metrics || *misspec > 0 {
+			fatal(fmt.Errorf("-remote sends the program to a daemon; it cannot combine with local-analysis flags (-report/-lint/-dump/-sweep/-serve/-trace/-metrics/-misspec)"))
+		}
+		if err := runRemote(*remote, string(src), *mode, *workers, *region, *window); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	c, err := core.Compile(string(src))
 	if err != nil {
@@ -149,10 +163,10 @@ func main() {
 	}
 
 	observing := *traceFile != "" || *metrics || *serve != ""
-	if observing || *misspec > 0 {
+	if *traceFile != "" || *metrics || *misspec > 0 {
 		switch *mode {
 		case "all", "seq":
-			fatal(fmt.Errorf("-trace/-metrics/-misspec/-serve need a single engine mode, not -mode %s", *mode))
+			fatal(fmt.Errorf("-trace/-metrics/-misspec need a single engine mode, not -mode %s", *mode))
 		}
 	}
 	if *misspec > 0 && *mode != "speccross" && *mode != "adaptive" {
@@ -230,24 +244,42 @@ func main() {
 		}
 	}
 
-	switch *mode {
-	case "seq":
-	case "all":
+	runAll := func() {
 		runMode("barrier")
 		runMode("domore")
 		runMode("speccross")
 		runMode("adaptive")
-	case "barrier", "domore", "speccross", "adaptive":
-		if *serve != "" {
-			if err := serveLoop(*serve, *serveRuns, rec, func() { runMode(*mode) }); err != nil {
-				fatal(err)
-			}
-		} else {
-			runMode(*mode)
+	}
+	runSeq := func() {
+		env, err := c.RunSequential()
+		if err != nil {
+			fatal(err)
 		}
+		if got := env.Checksum(); got != want {
+			fmt.Fprintf(os.Stderr, "FAIL: seq checksum %016x != sequential %016x\n", got, want)
+			os.Exit(1)
+		}
+	}
+	var runOnce func()
+	switch *mode {
+	case "seq":
+		runOnce = runSeq
+	case "all":
+		runOnce = runAll
+	case "barrier", "domore", "speccross", "adaptive":
+		runOnce = func() { runMode(*mode) }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+	if *serve != "" {
+		// One serve loop for every mode — including adaptive and all; the
+		// loop body is whatever the mode would have run once.
+		if err := serveLoop(*serve, *serveRuns, rec, runOnce); err != nil {
+			fatal(err)
+		}
+	} else if *mode != "seq" {
+		runOnce()
 	}
 
 	if rec != nil {
@@ -272,22 +304,11 @@ func serveLoop(addr string, runs int, rec *trace.Recorder, runOnce func()) error
 }
 
 // serveOn runs the loop against an existing listener (split out so tests
-// can allocate the port). The listener is closed when the loop ends.
+// can allocate the port). The loop itself lives in internal/daemon —
+// crossinvd and -serve share one implementation. The listener is closed
+// when the loop ends.
 func serveOn(ln net.Listener, runs int, rec *trace.Recorder, runOnce func()) error {
-	var completed atomic.Int64
-	mux := obs.NewMux(rec, func(g *trace.Registry) {
-		g.SetGauge("serve.runs", float64(completed.Load()))
-	})
-	go func() {
-		// http.Serve always returns a non-nil error once the listener
-		// closes; that is the loop's normal shutdown, not a failure.
-		_ = http.Serve(ln, mux)
-	}()
-	for i := 0; runs == 0 || i < runs; i++ {
-		runOnce()
-		completed.Add(1)
-	}
-	return ln.Close()
+	return daemon.ServeWorkloadLoop(ln, runs, rec, runOnce)
 }
 
 // exportTrace writes the recorder's Chrome trace_event JSON to file (when

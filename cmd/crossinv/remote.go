@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"crossinv/internal/daemon"
+)
+
+// runRemote is the -remote client mode: instead of compiling locally, the
+// program text is POSTed to a crossinvd daemon, which compiles, plans,
+// profiles, and executes it server-side — hot from its plan cache when it
+// has seen the program before. Mode "all" expands to one request per
+// engine, mirroring the local driver's output shape.
+func runRemote(addr, src, mode string, workers, region, window int) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	modes := []string{mode}
+	if mode == "all" {
+		modes = []string{"seq", "barrier", "domore", "speccross", "adaptive"}
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	for _, m := range modes {
+		resp, status, err := postRun(client, base, &daemon.RunRequest{
+			Source: src, Mode: m, Workers: workers, Region: region, Window: window,
+		})
+		if err != nil {
+			return err
+		}
+		switch {
+		case status == 200:
+			fmt.Printf("%-10s checksum %016x  %v  (remote %s, cache %s, analysis spans %d)\n",
+				resp.Engine, resp.Checksum, time.Duration(resp.DurationNs).Round(time.Microsecond),
+				addr, resp.Cache, resp.AnalysisSpans)
+		case status == 422:
+			fmt.Printf("%-10s inapplicable: %s\n", m, resp.Error)
+		case status == 429 || status == 503:
+			return fmt.Errorf("daemon at %s refused the invocation (%d): %s", addr, status, resp.Error)
+		default:
+			return fmt.Errorf("daemon at %s: %s (%d): %s", addr, m, status, resp.Error)
+		}
+	}
+	return nil
+}
+
+func postRun(client *http.Client, base string, req *daemon.RunRequest) (*daemon.RunResponse, int, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	httpResp, err := client.Post(base+"/run", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reaching daemon: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var resp daemon.RunResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, httpResp.StatusCode, fmt.Errorf("decoding daemon response: %w", err)
+	}
+	return &resp, httpResp.StatusCode, nil
+}

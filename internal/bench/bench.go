@@ -64,6 +64,9 @@ type cellSpec struct {
 	resolve              func() string
 	prepare              func() func()
 	traced               func() (*trace.Recorder, time.Duration)
+	// cleanup, when non-nil, runs after the cell's last sample (scratch
+	// state teardown, outside the timed region).
+	cleanup func()
 }
 
 // Run executes the full cell grid and returns the summarized result.
@@ -100,6 +103,9 @@ func Run(opts Options) (*Result, error) {
 		if opts.Breakdown && s.traced != nil {
 			rec, wall := s.traced()
 			c.Breakdown = breakdown(rec, wall)
+		}
+		if s.cleanup != nil {
+			s.cleanup()
 		}
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "%-28s median %12.0fns  cov %5.1f%%\n", c.ID, c.Median, 100*c.CoV)
@@ -168,6 +174,9 @@ func cellSpecs(opts Options) []cellSpec {
 		}
 	}
 	for _, s := range microSpecs(opts) {
+		add(s)
+	}
+	for _, s := range daemonSpecs(opts) {
 		add(s)
 	}
 	return specs

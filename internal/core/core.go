@@ -22,7 +22,6 @@ import (
 	"crossinv/internal/runtime/trace"
 	"crossinv/internal/transform/advisor"
 	"crossinv/internal/transform/mtcg"
-	"crossinv/internal/transform/slice"
 	"crossinv/internal/transform/speccrossgen"
 )
 
@@ -143,27 +142,16 @@ func (c *Compiled) RunDOMORE(region *ir.Loop, workers int) (*DomoreResult, error
 }
 
 // RunDOMOREOpts is RunDOMORE with full control over the runtime options
-// (queue capacity, scheduling policy, event tracing via opts.Trace).
+// (queue capacity, scheduling policy, event tracing via opts.Trace). It is
+// the cold path: PlanDOMORE builds and verifies the transform, then
+// RunDOMOREPlanned executes it; a plan cache holding the Parallelized can
+// call RunDOMOREPlanned directly and skip the pipeline.
 func (c *Compiled) RunDOMOREOpts(region *ir.Loop, opts domore.Options) (*DomoreResult, error) {
-	par, err := mtcg.Transform(c.Prog, c.Dep, region, slice.Options{})
+	par, err := c.PlanDOMORE(region)
 	if err != nil {
 		return nil, err
 	}
-	if err := verifyDomorePlan(par); err != nil {
-		return nil, err
-	}
-	env, finish, err := c.runOutside(region)
-	if err != nil {
-		return nil, err
-	}
-	stats, err := par.Run(env, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := finish(env); err != nil {
-		return nil, err
-	}
-	return &DomoreResult{Env: env, Stats: stats, Par: par}, nil
+	return c.RunDOMOREPlanned(par, region, opts)
 }
 
 // SpecCrossResult is the outcome of a SPECCROSS execution.
@@ -175,41 +163,23 @@ type SpecCrossResult struct {
 
 // RunSpecCross executes the program with the region transformed by the
 // SPECCROSS pipeline. When profile is true, a §4.4 profiling pass runs
-// first (against a scratch copy of the region state) and its recommended
-// speculative distance is installed into cfg.
+// first (ProfileRegion, against scratch region state) and its recommended
+// speculative distance gates the run via RunSpecCrossProfiled; a plan
+// cache holding the ProfileResult calls RunSpecCrossProfiled directly and
+// skips the pass.
 func (c *Compiled) RunSpecCross(region *ir.Loop, cfg speccross.Config, profile bool) (*SpecCrossResult, error) {
+	if profile {
+		prof, err := c.ProfileRegion(region, cfg.SigKind)
+		if err != nil {
+			return nil, err
+		}
+		return c.RunSpecCrossProfiled(region, cfg, prof)
+	}
 	env, finish, err := c.runOutside(region)
 	if err != nil {
 		return nil, err
 	}
 	res := &SpecCrossResult{}
-	if profile {
-		scratch := interp.NewEnv(c.Prog)
-		for name, a := range env.Arrays {
-			copy(scratch.Arrays[name], a)
-		}
-		pr, err := speccrossgen.New(c.Prog, c.Dep, region, scratch, 1)
-		if err != nil {
-			return nil, err
-		}
-		res.Profile = pr.Profile(cfg.SigKind)
-		dist, profitable := res.Profile.Recommended(cfg.Workers)
-		if !profitable {
-			// The paper declines to speculate below the worker-count
-			// threshold; fall back to barrier execution.
-			r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
-			if err != nil {
-				return nil, err
-			}
-			speccross.RunBarriers(r, cfg.Workers)
-			if err := finish(env); err != nil {
-				return nil, err
-			}
-			res.Env = env
-			return res, nil
-		}
-		cfg.SpecDistance = dist
-	}
 	r, err := speccrossgen.New(c.Prog, c.Dep, region, env, cfg.Workers)
 	if err != nil {
 		return nil, err

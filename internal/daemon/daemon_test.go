@@ -1,0 +1,514 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossinv/internal/raceflag"
+)
+
+// corpus loads every LNL program the repo ships: the examples plus the
+// core test corpus.
+func corpus(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, dir := range []string{"../../examples/compiler", "../../internal/core/testdata"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".lnl" {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = string(raw)
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("corpus too small: %d programs", len(out))
+	}
+	return out
+}
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Shutdown() })
+	return s
+}
+
+var allModes = []string{"barrier", "domore", "speccross", "adaptive", "auto"}
+
+// profileHeavy marks corpus programs whose §4.4 profiling pass is
+// quadratic enough that the race detector's ~20× slowdown turns one cold
+// profile into ~40s. Under -race those programs only run profile-free
+// modes (the repo-wide shrinking rule, see internal/raceflag); plain test
+// runs still cover every mode on every program.
+var profileHeavy = map[string]bool{"stencil.lnl": true}
+
+func modesFor(name string) []string {
+	if raceflag.Enabled && profileHeavy[name] {
+		return []string{"barrier", "domore"}
+	}
+	return allModes
+}
+
+// TestModesMatchSequentialOverCorpus is the daemon-level equivalence
+// gate: every engine, on every corpus program, either matches the
+// sequential oracle exactly or declines cleanly (422 — the program cannot
+// be parallelized that way). A 500 is an engine or verification failure.
+func TestModesMatchSequentialOverCorpus(t *testing.T) {
+	s := newServer(t, Config{})
+	for name, src := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			seq, status := s.Execute(&RunRequest{Source: src, Mode: "seq"})
+			if status != 200 {
+				t.Fatalf("seq: %d %s", status, seq.Error)
+			}
+			for _, mode := range modesFor(name) {
+				resp, status := s.Execute(&RunRequest{Source: src, Mode: mode, Workers: 4})
+				switch status {
+				case 200:
+					if resp.Checksum != seq.Checksum {
+						t.Errorf("%s checksum %x != seq %x", mode, resp.Checksum, seq.Checksum)
+					}
+				case 422:
+					t.Logf("%s declined: %s", mode, resp.Error)
+				default:
+					t.Errorf("%s: status %d: %s", mode, status, resp.Error)
+				}
+			}
+		})
+	}
+}
+
+// TestHotPathZeroAnalysisSpans pins the acceptance criterion: once a
+// program is live in memory, repeat invocations run zero analysis stages
+// — no parse, no dependence analysis, no oracle, no profile, no
+// transform. The global span counters must not move either.
+func TestHotPathZeroAnalysisSpans(t *testing.T) {
+	src := corpus(t)["cg.lnl"]
+	s := newServer(t, Config{})
+	for _, mode := range []string{"seq", "barrier", "domore", "speccross", "adaptive", "auto"} {
+		if resp, status := s.Execute(&RunRequest{Source: src, Mode: mode, Workers: 4}); status != 200 {
+			t.Fatalf("cold %s: %d %s", mode, status, resp.Error)
+		}
+	}
+	before := s.Counters()
+	for _, mode := range []string{"seq", "barrier", "domore", "speccross", "adaptive", "auto"} {
+		resp, status := s.Execute(&RunRequest{Source: src, Mode: mode, Workers: 4})
+		if status != 200 {
+			t.Fatalf("hot %s: %d %s", mode, status, resp.Error)
+		}
+		if resp.Cache != "hot" {
+			t.Errorf("%s repeat classified %q, want hot", mode, resp.Cache)
+		}
+		if resp.AnalysisSpans != 0 {
+			t.Errorf("%s hot invocation ran %d analysis spans, want 0", mode, resp.AnalysisSpans)
+		}
+	}
+	after := s.Counters()
+	for _, k := range []string{"daemon.span.compile", "daemon.span.oracle", "daemon.span.profile", "daemon.span.plan"} {
+		if after[k] != before[k] {
+			t.Errorf("%s moved %d -> %d across a hot round", k, before[k], after[k])
+		}
+	}
+	if after["daemon.cache.hot"]-before["daemon.cache.hot"] != 6 {
+		t.Errorf("hot counter advanced %d, want 6", after["daemon.cache.hot"]-before["daemon.cache.hot"])
+	}
+}
+
+// TestWarmRestartSkipsOracleAndProfile: a fresh daemon over the same
+// cache dir must re-compile (the IR is live state) but replay the oracle
+// checksum and §4.4 profile from disk — and produce identical results.
+func TestWarmRestartSkipsOracleAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	progs := corpus(t)
+
+	cold := newServer(t, Config{CacheDir: dir})
+	want := map[string]uint64{}
+	for name, src := range progs {
+		if raceflag.Enabled && profileHeavy[name] {
+			continue
+		}
+		resp, status := cold.Execute(&RunRequest{Source: src, Mode: "speccross", Workers: 4})
+		if status == 200 {
+			want[name] = resp.Checksum
+			if resp.Cache != "cold" {
+				t.Errorf("%s first run classified %q, want cold", name, resp.Cache)
+			}
+		} else if status != 422 {
+			t.Fatalf("%s cold: %d %s", name, status, resp.Error)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no corpus program ran under speccross")
+	}
+	if err := cold.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := newServer(t, Config{CacheDir: dir})
+	for name := range want {
+		resp, status := warm.Execute(&RunRequest{Source: progs[name], Mode: "speccross", Workers: 4})
+		if status != 200 {
+			t.Fatalf("%s warm: %d %s", name, status, resp.Error)
+		}
+		if resp.Checksum != want[name] {
+			t.Errorf("%s warm checksum %x != cold %x", name, resp.Checksum, want[name])
+		}
+		if resp.Cache != "warm" {
+			t.Errorf("%s restart run classified %q, want warm", name, resp.Cache)
+		}
+	}
+	c := warm.Counters()
+	if c["daemon.span.oracle"] != 0 || c["daemon.span.profile"] != 0 {
+		t.Errorf("warm restart ran %d oracle / %d profile spans, want 0/0",
+			c["daemon.span.oracle"], c["daemon.span.profile"])
+	}
+	if c["plancache.hit"] == 0 {
+		t.Error("warm restart recorded no plan-cache hits")
+	}
+}
+
+// TestCorruptCacheEntryRecovers: a rotted disk entry must degrade the
+// request to a cold recompute (never an error) and be repaired in place.
+func TestCorruptCacheEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	src := corpus(t)["cg.lnl"]
+
+	cold := newServer(t, Config{CacheDir: dir})
+	first, status := cold.Execute(&RunRequest{Source: src, Mode: "speccross", Workers: 4})
+	if status != 200 {
+		t.Fatalf("cold: %d %s", status, first.Error)
+	}
+	if err := cold.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear every cached entry under the root.
+	torn := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" || d.Name() == "stats.json" {
+			return err
+		}
+		torn++
+		return os.WriteFile(path, []byte(`{"schema":"crossinv-plancache/v1","plan":`), 0o644)
+	})
+	if err != nil || torn == 0 {
+		t.Fatalf("tore %d entries, err %v", torn, err)
+	}
+
+	s := newServer(t, Config{CacheDir: dir})
+	resp, status := s.Execute(&RunRequest{Source: src, Mode: "speccross", Workers: 4})
+	if status != 200 {
+		t.Fatalf("run over corrupt cache: %d %s", status, resp.Error)
+	}
+	if resp.Checksum != first.Checksum {
+		t.Errorf("recovered checksum %x != original %x", resp.Checksum, first.Checksum)
+	}
+	if resp.Cache != "cold" {
+		t.Errorf("corrupt entry classified %q, want cold recompute", resp.Cache)
+	}
+	if c := s.Counters(); c["plancache.corrupt"] == 0 {
+		t.Error("plancache.corrupt did not count the torn entry")
+	}
+	// The cold run re-Put the entry: one more restart must be warm again.
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	again := newServer(t, Config{CacheDir: dir})
+	if resp, status := again.Execute(&RunRequest{Source: src, Mode: "speccross", Workers: 4}); status != 200 || resp.Cache != "warm" {
+		t.Errorf("post-repair restart: status %d cache %q, want 200/warm", status, resp.Cache)
+	}
+}
+
+func postRun(t *testing.T, url string, req *RunRequest) (*RunResponse, int) {
+	t.Helper()
+	raw, _ := json.Marshal(req)
+	httpResp, err := http.Post(url+"/run", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp RunResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode /run response: %v", err)
+	}
+	return &resp, httpResp.StatusCode
+}
+
+// TestConcurrentInvocationsWithAdmissionControl fires 64 concurrent
+// invocations at a deliberately small worker budget: every response must
+// be a verified 200 or an admission 429, at least one of each must occur
+// (the budget saturates AND still serves), and afterwards the daemon is
+// healthy with zero in-flight work.
+func TestConcurrentInvocationsWithAdmissionControl(t *testing.T) {
+	src := corpus(t)["cg.lnl"]
+	s := newServer(t, Config{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 20 * time.Millisecond})
+	// Pre-warm so concurrent requests exercise the hot path, not 64
+	// simultaneous compiles of the same program.
+	if resp, status := s.Execute(&RunRequest{Source: src, Mode: "domore", Workers: 2}); status != 200 {
+		t.Fatalf("pre-warm: %d %s", status, resp.Error)
+	}
+	want := mustSeq(t, s, src)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 64
+	var ok, rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, status := postRun(t, ts.URL, &RunRequest{Source: src, Mode: "domore", Workers: 2})
+			switch status {
+			case 200:
+				if resp.Checksum != want {
+					t.Errorf("concurrent run checksum %x != %x", resp.Checksum, want)
+				}
+				ok.Add(1)
+			case 429:
+				rejected.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("unexpected status %d: %s", status, resp.Error)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Error("no concurrent invocation succeeded")
+	}
+	if rejected.Load() == 0 {
+		t.Error("admission control never engaged: 64 concurrent requests, budget 2+2, zero 429s")
+	}
+	if got := ok.Load() + rejected.Load() + other.Load(); got != n {
+		t.Errorf("accounted for %d of %d requests", got, n)
+	}
+	c := s.Counters()
+	if c["daemon.admitted"] != c["daemon.completed"] {
+		t.Errorf("admitted %d != completed %d (dropped work?)", c["daemon.admitted"], c["daemon.completed"])
+	}
+
+	httpResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || httpResp.StatusCode != 200 {
+		t.Fatalf("healthz after storm: %v %v", err, httpResp)
+	}
+	httpResp.Body.Close()
+}
+
+func mustSeq(t *testing.T, s *Server, src string) uint64 {
+	t.Helper()
+	resp, status := s.Execute(&RunRequest{Source: src, Mode: "seq"})
+	if status != 200 {
+		t.Fatalf("seq: %d %s", status, resp.Error)
+	}
+	return resp.Checksum
+}
+
+// TestGracefulDrain starts a request storm, begins Shutdown mid-storm,
+// and asserts the drain contract: every admitted invocation completes
+// with a verified result (zero dropped), late arrivals get 503, and
+// after Shutdown returns the daemon reports draining on /healthz.
+func TestGracefulDrain(t *testing.T) {
+	src := corpus(t)["cg.lnl"]
+	s := newServer(t, Config{MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 50 * time.Millisecond})
+	if resp, status := s.Execute(&RunRequest{Source: src, Mode: "domore", Workers: 2}); status != 200 {
+		t.Fatalf("pre-warm: %d %s", status, resp.Error)
+	}
+	want := mustSeq(t, s, src)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 32
+	var ok, rejected, unavailable atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, status := postRun(t, ts.URL, &RunRequest{Source: src, Mode: "domore", Workers: 2})
+			switch status {
+			case 200:
+				if resp.Checksum != want {
+					t.Errorf("drained run checksum %x != %x", resp.Checksum, want)
+				}
+				ok.Add(1)
+			case 429:
+				rejected.Add(1)
+			case 503:
+				unavailable.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", status, resp.Error)
+			}
+		}(i)
+	}
+
+	var shutdownDone sync.WaitGroup
+	shutdownDone.Add(1)
+	go func() {
+		defer shutdownDone.Done()
+		time.Sleep(5 * time.Millisecond) // let some requests get admitted
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+	wg.Wait()
+	shutdownDone.Wait()
+
+	c := s.Counters()
+	if c["daemon.admitted"] != c["daemon.completed"] {
+		t.Errorf("drain dropped accepted work: admitted %d, completed %d",
+			c["daemon.admitted"], c["daemon.completed"])
+	}
+	if got := ok.Load() + rejected.Load() + unavailable.Load(); got != n {
+		t.Errorf("accounted for %d of %d requests", got, n)
+	}
+	if int64(c["daemon.completed"]) < ok.Load() {
+		t.Errorf("completed %d < observed 200s %d", c["daemon.completed"], ok.Load())
+	}
+
+	httpResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain = %d, want 503", httpResp.StatusCode)
+	}
+	if resp, status := postRun(t, ts.URL, &RunRequest{Source: src, Mode: "seq"}); status != 503 {
+		t.Errorf("post-drain /run = %d (%s), want 503", status, resp.Error)
+	}
+
+	// The drain flushed cache stats to disk.
+	if _, err := os.Stat(filepath.Join(s.Store().Dir(), "stats.json")); err != nil {
+		t.Errorf("drain did not flush cache stats: %v", err)
+	}
+}
+
+// TestHTTPSurface smoke-tests the observability endpoints the daemon
+// mounts next to /run: /plans lists entries and hot programs, /metrics
+// exports the daemon counters, /healthz reports admission state.
+func TestHTTPSurface(t *testing.T) {
+	src := corpus(t)["cg.lnl"]
+	s := newServer(t, Config{})
+	if resp, status := s.Execute(&RunRequest{Source: src, Mode: "auto", Workers: 4}); status != 200 {
+		t.Fatalf("seed run: %d %s", status, resp.Error)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var plans struct {
+		Entries  []map[string]any `json:"entries"`
+		Programs []programInfo    `json:"programs"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	httpResp, err := http.Get(ts.URL + "/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if len(plans.Entries) == 0 || len(plans.Programs) != 1 {
+		t.Errorf("/plans: %d entries, %d programs; want ≥1 and 1", len(plans.Entries), len(plans.Programs))
+	}
+	if plans.Counters["plancache.put"] == 0 {
+		t.Error("/plans counters missing plancache.put")
+	}
+
+	httpResp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(httpResp)
+	for _, metric := range []string{"daemon_admitted", "daemon_cache_cold", "daemon_span_oracle", "plancache_put", "daemon_inflight"} {
+		if !strings.Contains(raw, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+
+	httpResp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		Programs int    `json:"programs"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if h.Status != "ok" || h.Programs != 1 {
+		t.Errorf("healthz = %+v, want ok/1 program", h)
+	}
+}
+
+func readAll(r *http.Response) (string, error) {
+	defer r.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if err.Error() == "EOF" {
+				return sb.String(), nil
+			}
+			return sb.String(), err
+		}
+	}
+}
+
+// TestRejectionShapes covers the request-validation edges.
+func TestRejectionShapes(t *testing.T) {
+	s := newServer(t, Config{})
+	cases := []struct {
+		name   string
+		req    RunRequest
+		status int
+	}{
+		{"empty source", RunRequest{}, 400},
+		{"bad mode", RunRequest{Source: "func f() { }", Mode: "warp"}, 400},
+		{"bad sig", RunRequest{Source: "func f() { }", Mode: "seq", Sig: "md5"}, 400},
+		{"parse error", RunRequest{Source: "func f( {", Mode: "seq"}, 422},
+		{"no region", RunRequest{Source: "func f() { var A[4]\nfor i = 0 .. 4 { A[i] = i } }", Mode: "domore"}, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, status := s.Execute(&tc.req)
+			if status != tc.status {
+				t.Errorf("status %d (%s), want %d", status, resp.Error, tc.status)
+			}
+			if resp.OK {
+				t.Error("rejected request reported OK")
+			}
+		})
+	}
+}

@@ -1,0 +1,580 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossinv/internal/core"
+	"crossinv/internal/plancache"
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/signature"
+	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/transform/mtcg"
+)
+
+// RunRequest is one invocation: a program and how to execute it.
+type RunRequest struct {
+	// Source is the LNL program text (required) — the content address.
+	Source string `json:"source"`
+	// Mode is seq, barrier, domore, speccross, adaptive, or auto (default
+	// auto: the profile-informed engine choice).
+	Mode string `json:"mode,omitempty"`
+	// Workers overrides the daemon's default engine worker count.
+	Workers int `json:"workers,omitempty"`
+	// Region indexes the candidate region to parallelize. Negative means
+	// the last detected region (the crossinv CLI's default); 0 is the
+	// JSON zero value, so "unset" picks the first region.
+	Region int `json:"region,omitempty"`
+	// Sig selects the signature scheme: range (default), bloom, exact.
+	Sig string `json:"sig,omitempty"`
+	// Window overrides the adaptive monitoring window.
+	Window int `json:"window,omitempty"`
+}
+
+// RunResponse reports one invocation's outcome.
+type RunResponse struct {
+	OK     bool   `json:"ok"`
+	Engine string `json:"engine,omitempty"`
+	// Checksum is the executed result; SeqChecksum the sequential oracle
+	// it was verified against.
+	Checksum    uint64 `json:"checksum,omitempty"`
+	SeqChecksum uint64 `json:"seq_checksum,omitempty"`
+	// Cache classifies the dispatch path: "hot" (program live in memory —
+	// no parse, analysis, oracle, profile, or transform ran), "warm"
+	// (compiled fresh, but oracle/profile replayed from the disk cache),
+	// "cold" (full pipeline).
+	Cache string `json:"cache,omitempty"`
+	// AnalysisSpans counts the analysis stages this request actually ran
+	// (compile + oracle + profile + DOMORE transform). Hot is exactly 0.
+	AnalysisSpans int64 `json:"analysis_spans"`
+	Regions       int   `json:"regions,omitempty"`
+	DurationNs    int64 `json:"duration_ns"`
+	Error         string `json:"error,omitempty"`
+}
+
+// spans tallies the analysis stages one request ran.
+type spans struct{ compile, oracle, profile, plan int64 }
+
+func (st *spans) total() int64 { return st.compile + st.oracle + st.profile + st.plan }
+
+// program is the in-memory (hot) cache for one source hash: the live
+// compiled IR plus every derived artifact, built at most once and shared
+// read-only by concurrent invocations.
+type program struct {
+	hash string
+	runs atomic.Int64
+
+	mu         sync.Mutex
+	compiled   *core.Compiled
+	compileErr error
+	facts      []core.RegionFacts
+	lintClean  bool
+	oracleDone bool
+	oracle     uint64
+	regions    map[int]*regionPlan
+}
+
+// regionPlan caches per-region derived artifacts. The DOMORE transform is
+// immutable after construction (Bind makes per-run state) and the profile
+// is a pure value, so both are safe to share across invocations.
+type regionPlan struct {
+	mu   sync.Mutex
+	par  *mtcg.Parallelized
+	prof map[signature.Kind]*speccross.ProfileResult
+	seed *plancache.AdaptiveSeed
+}
+
+type programInfo struct {
+	SourceHash string `json:"source_hash"`
+	Regions    int    `json:"regions"`
+	Runs       int64  `json:"runs"`
+	OracleHot  bool   `json:"oracle_hot"`
+}
+
+func (s *Server) program(src string) *program {
+	hash := core.SourceHash(src)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.programs[hash]
+	if !ok {
+		p = &program{hash: hash, regions: map[int]*regionPlan{}}
+		s.programs[hash] = p
+	}
+	return p
+}
+
+func (s *Server) programInfos() []programInfo {
+	s.mu.Lock()
+	progs := make([]*program, 0, len(s.programs))
+	for _, p := range s.programs {
+		progs = append(progs, p)
+	}
+	s.mu.Unlock()
+	out := make([]programInfo, 0, len(progs))
+	for _, p := range progs {
+		p.mu.Lock()
+		info := programInfo{SourceHash: p.hash, Runs: p.runs.Load(), OracleHot: p.oracleDone}
+		if p.compiled != nil {
+			info.Regions = len(p.compiled.Regions)
+		}
+		p.mu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SourceHash < out[j].SourceHash })
+	return out
+}
+
+// ensureCompiled parses and analyzes the program once per daemon lifetime
+// (sticky error: a program that does not compile never recompiles).
+func (p *program) ensureCompiled(s *Server, src string, st *spans) (*core.Compiled, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.compiled == nil && p.compileErr == nil {
+		c, err := core.Compile(src)
+		st.compile++
+		s.spanCompile.Add(1)
+		if err != nil {
+			p.compileErr = err
+		} else {
+			p.compiled = c
+			p.facts = c.Facts()
+			p.lintClean = !c.Lint().HasErrors()
+		}
+	}
+	return p.compiled, p.compileErr
+}
+
+func (p *program) region(idx int) *regionPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rp, ok := p.regions[idx]
+	if !ok {
+		rp = &regionPlan{prof: map[signature.Kind]*speccross.ProfileResult{}}
+		p.regions[idx] = rp
+	}
+	return rp
+}
+
+// adopt tries to fill the in-memory gaps (oracle, profile, adaptive seed)
+// from the disk cache. Verify-on-load: an entry is adopted only when the
+// freshly compiled program re-passes the analysis/verify gates (lint
+// clean) and the entry's shape matches the compiled region count — on any
+// doubt it is ignored and the cold path recomputes. Returns whether the
+// disk entry supplied anything.
+func (s *Server) adopt(p *program, rp *regionPlan, key plancache.Key, kind signature.Kind) bool {
+	p.mu.Lock()
+	needOracle := !p.oracleDone
+	p.mu.Unlock()
+	needProf := false
+	if rp != nil {
+		rp.mu.Lock()
+		needProf = rp.prof[kind] == nil
+		rp.mu.Unlock()
+	}
+	if !needOracle && !needProf {
+		return false // fully hot; don't touch disk
+	}
+	plan, ok := s.store.Get(key)
+	if !ok {
+		return false
+	}
+	p.mu.Lock()
+	valid := p.compiled != nil && p.lintClean && plan.Regions == len(p.compiled.Regions)
+	if valid && needOracle {
+		p.oracle = plan.SeqChecksum
+		p.oracleDone = true
+	}
+	p.mu.Unlock()
+	if !valid {
+		return false
+	}
+	if rp != nil {
+		rp.mu.Lock()
+		if plan.Profile != nil && rp.prof[kind] == nil {
+			rp.prof[kind] = fromCacheProfile(plan.Profile)
+		}
+		if rp.seed == nil {
+			rp.seed = plan.Adaptive
+		}
+		rp.mu.Unlock()
+	}
+	return true
+}
+
+// ensureOracle computes (once) the sequential oracle checksum.
+func (p *program) ensureOracle(s *Server, c *core.Compiled, st *spans) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.oracleDone {
+		sum, err := c.Oracle()
+		st.oracle++
+		s.spanOracle.Add(1)
+		if err != nil {
+			return 0, err
+		}
+		p.oracle = sum
+		p.oracleDone = true
+	}
+	return p.oracle, nil
+}
+
+// ensureProfile computes (once per signature kind) the §4.4 conflict
+// profile for the region.
+func (rp *regionPlan) ensureProfile(s *Server, c *core.Compiled, regionIdx int, kind signature.Kind, st *spans) (*speccross.ProfileResult, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.prof[kind] == nil {
+		region, err := c.Region(regionIdx)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := c.ProfileRegion(region, kind)
+		st.profile++
+		s.spanProfile.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		rp.prof[kind] = &pr
+	}
+	return rp.prof[kind], nil
+}
+
+// ensureDomorePlan builds (once) the verified DOMORE transform.
+func (rp *regionPlan) ensureDomorePlan(s *Server, c *core.Compiled, regionIdx int, st *spans) (*mtcg.Parallelized, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.par == nil {
+		region, err := c.Region(regionIdx)
+		if err != nil {
+			return nil, err
+		}
+		par, err := c.PlanDOMORE(region)
+		st.plan++
+		s.spanPlan.Add(1)
+		if err != nil {
+			return nil, err
+		}
+		rp.par = par
+	}
+	return rp.par, nil
+}
+
+func sigKind(name string) (signature.Kind, bool) {
+	switch name {
+	case "", "range":
+		return signature.Range, true
+	case "bloom":
+		return signature.Bloom, true
+	case "exact":
+		return signature.Exact, true
+	}
+	return 0, false
+}
+
+func sigName(k signature.Kind) string {
+	switch k {
+	case signature.Bloom:
+		return "bloom"
+	case signature.Exact:
+		return "exact"
+	default:
+		return "range"
+	}
+}
+
+func toCacheProfile(pr *speccross.ProfileResult) *plancache.Profile {
+	cp := &plancache.Profile{
+		Tasks: pr.Tasks, Epochs: pr.Epochs,
+		Conflicts: pr.Conflicts, MinDistance: pr.MinDistance,
+	}
+	if len(pr.PerLoop) > 0 {
+		cp.PerLoop = make(map[string]int64, len(pr.PerLoop))
+		for k, v := range pr.PerLoop {
+			cp.PerLoop[k] = v
+		}
+	}
+	return cp
+}
+
+func fromCacheProfile(cp *plancache.Profile) *speccross.ProfileResult {
+	pr := &speccross.ProfileResult{
+		Tasks: cp.Tasks, Epochs: cp.Epochs,
+		Conflicts: cp.Conflicts, MinDistance: cp.MinDistance,
+		PerLoop: map[string]int64{},
+	}
+	for k, v := range cp.PerLoop {
+		pr.PerLoop[k] = v
+	}
+	return pr
+}
+
+func toCacheFacts(fs []core.RegionFacts) []plancache.RegionFacts {
+	out := make([]plancache.RegionFacts, len(fs))
+	for i, f := range fs {
+		out[i] = plancache.RegionFacts{
+			Var: f.Var, Pos: f.Pos, AdvisorPlan: f.AdvisorPlan,
+			InnerClasses: append([]string(nil), f.InnerClasses...),
+			CrossInvDeps: f.CrossInvDeps,
+		}
+	}
+	return out
+}
+
+// putPlan persists every artifact the request left in memory. Best
+// effort: a failed write degrades the next restart to cold, nothing else.
+func (s *Server) putPlan(p *program, rp *regionPlan, key plancache.Key, kind signature.Kind, regionIdx, workers, window int) {
+	p.mu.Lock()
+	plan := plancache.Plan{
+		SeqChecksum: p.oracle,
+		Regions:     len(p.compiled.Regions),
+		RegionIndex: regionIdx,
+		Facts:       toCacheFacts(p.facts),
+		LintClean:   p.lintClean,
+	}
+	p.mu.Unlock()
+	if rp != nil {
+		rp.mu.Lock()
+		if pr := rp.prof[kind]; pr != nil {
+			plan.Profile = toCacheProfile(pr)
+			if _, profitable := pr.Recommended(workers); profitable {
+				plan.Engine = "speccross"
+			} else {
+				plan.Engine = "domore"
+			}
+			if window <= 0 {
+				window = 32
+			}
+			plan.Adaptive = &plancache.AdaptiveSeed{Start: plan.Engine, Window: window}
+		}
+		rp.mu.Unlock()
+	}
+	_ = s.store.Put(key, plan)
+}
+
+// Execute runs one invocation through the cache-aware dispatch and
+// returns the response plus its HTTP status. It is exported for
+// in-process callers (tests, the bench harness); handleRun wraps it with
+// admission control.
+//
+// Status mapping: 400 malformed request, 422 the program itself cannot
+// compile or be parallelized as asked (the daemon is healthy), 500 an
+// engine failed or verification against the oracle mismatched.
+func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
+	start := time.Now()
+	resp := &RunResponse{}
+	fail := func(status int, format string, args ...any) (*RunResponse, int) {
+		resp.Error = fmt.Sprintf(format, args...)
+		resp.DurationNs = time.Since(start).Nanoseconds()
+		return resp, status
+	}
+
+	if req.Source == "" {
+		return fail(400, "empty source")
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "auto"
+	}
+	switch mode {
+	case "seq", "barrier", "domore", "speccross", "adaptive", "auto":
+	default:
+		return fail(400, "unknown mode %q", mode)
+	}
+	kind, ok := sigKind(req.Sig)
+	if !ok {
+		return fail(400, "unknown signature kind %q", req.Sig)
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.DefaultWorkers
+	}
+
+	p := s.program(req.Source)
+	p.runs.Add(1)
+	st := &spans{}
+	c, err := p.ensureCompiled(s, req.Source, st)
+	if err != nil {
+		resp.AnalysisSpans = st.total()
+		return fail(422, "compile: %v", err)
+	}
+	resp.Regions = len(c.Regions)
+
+	regionIdx := req.Region
+	if regionIdx < 0 {
+		regionIdx = len(c.Regions) - 1
+		if regionIdx < 0 {
+			regionIdx = 0
+		}
+	}
+	key := plancache.Key{
+		SourceHash:  p.hash,
+		Fingerprint: plancache.Fingerprint(core.PipelineVersion, regionIdx, sigName(kind)),
+	}
+
+	// Sequential mode is its own oracle: run, record, done.
+	if mode == "seq" {
+		env, rerr := c.RunSequential()
+		if rerr != nil {
+			return fail(422, "sequential: %v", rerr)
+		}
+		sum := env.Checksum()
+		p.mu.Lock()
+		freshOracle := !p.oracleDone
+		if freshOracle {
+			p.oracle = sum
+			p.oracleDone = true
+		}
+		p.mu.Unlock()
+		if freshOracle {
+			s.putPlan(p, nil, key, kind, regionIdx, workers, req.Window)
+		}
+		resp.OK = true
+		resp.Engine = "seq"
+		resp.Checksum = sum
+		resp.SeqChecksum = sum
+		resp.Cache = cacheLabel(st, false)
+		s.countCache(resp.Cache)
+		resp.AnalysisSpans = st.total()
+		resp.DurationNs = time.Since(start).Nanoseconds()
+		return resp, 200
+	}
+
+	region, err := c.Region(regionIdx)
+	if err != nil {
+		return fail(422, "region %d: %v", regionIdx, err)
+	}
+	rp := p.region(regionIdx)
+	diskHit := s.adopt(p, rp, key, kind)
+
+	oracle, err := p.ensureOracle(s, c, st)
+	if err != nil {
+		resp.AnalysisSpans = st.total()
+		return fail(422, "oracle: %v", err)
+	}
+
+	engine := mode
+	if mode == "auto" {
+		pr, perr := rp.ensureProfile(s, c, regionIdx, kind, st)
+		if perr != nil {
+			resp.AnalysisSpans = st.total()
+			return fail(422, "profile: %v", perr)
+		}
+		if _, profitable := pr.Recommended(workers); profitable {
+			engine = "speccross"
+		} else {
+			engine = "domore"
+		}
+	}
+
+	var sum uint64
+	var rerr error
+	switch engine {
+	case "barrier":
+		res, e := c.RunBarriersTraced(region, workers, nil)
+		if e != nil {
+			rerr = e
+		} else {
+			sum = res.Env.Checksum()
+		}
+	case "domore":
+		par, e := rp.ensureDomorePlan(s, c, regionIdx, st)
+		if e != nil {
+			resp.AnalysisSpans = st.total()
+			return fail(422, "domore plan: %v", e)
+		}
+		res, e := c.RunDOMOREPlanned(par, region, domore.Options{Workers: workers})
+		if e != nil {
+			rerr = e
+		} else {
+			sum = res.Env.Checksum()
+		}
+	case "speccross":
+		pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
+		if e != nil {
+			resp.AnalysisSpans = st.total()
+			return fail(422, "profile: %v", e)
+		}
+		res, e := c.RunSpecCrossProfiled(region, speccross.Config{Workers: workers, SigKind: kind}, *pr)
+		if e != nil {
+			rerr = e
+		} else {
+			sum = res.Env.Checksum()
+		}
+	case "adaptive":
+		pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
+		if e != nil {
+			resp.AnalysisSpans = st.total()
+			return fail(422, "profile: %v", e)
+		}
+		cfg := adaptive.Config{Workers: workers, Window: req.Window}
+		if cfg.Window <= 0 {
+			rp.mu.Lock()
+			if rp.seed != nil {
+				cfg.Window = rp.seed.Window
+			}
+			rp.mu.Unlock()
+		}
+		cfg.Spec.SigKind = kind
+		cfg.SeedFromProfile(pr.MinDistance, workers)
+		res, e := c.RunAdaptive(region, cfg)
+		if e != nil {
+			rerr = e
+		} else {
+			sum = res.Env.Checksum()
+		}
+	}
+	resp.AnalysisSpans = st.total()
+	if rerr != nil {
+		// Construction failures (e.g. no DOMORE view for this region shape)
+		// and execution faults are properties of the program, not the
+		// daemon: 422, like a compile error.
+		return fail(422, "%s: %v", engine, rerr)
+	}
+	if sum != oracle {
+		return fail(500, "%s checksum %x != sequential oracle %x", engine, sum, oracle)
+	}
+
+	if st.oracle > 0 || st.profile > 0 {
+		s.putPlan(p, rp, key, kind, regionIdx, workers, req.Window)
+	}
+
+	resp.OK = true
+	resp.Engine = engine
+	resp.Checksum = sum
+	resp.SeqChecksum = oracle
+	resp.Cache = cacheLabel(st, diskHit)
+	s.countCache(resp.Cache)
+	resp.DurationNs = time.Since(start).Nanoseconds()
+	return resp, 200
+}
+
+// cacheLabel classifies the dispatch path this request took. The DOMORE
+// transform holds live IR pointers and is rebuilt per process, so a warm
+// (post-restart) invocation may re-plan; what warm never repeats is the
+// oracle run and the profiling pass.
+func cacheLabel(st *spans, diskHit bool) string {
+	switch {
+	case st.compile == 0 && st.oracle == 0 && st.profile == 0 && st.plan == 0:
+		return "hot"
+	case diskHit && st.oracle == 0 && st.profile == 0:
+		return "warm"
+	default:
+		return "cold"
+	}
+}
+
+// bump the cache-path counters once classified.
+func (s *Server) countCache(label string) {
+	switch label {
+	case "hot":
+		s.cacheHot.Add(1)
+	case "warm":
+		s.cacheWarm.Add(1)
+	default:
+		s.cacheCold.Add(1)
+	}
+}

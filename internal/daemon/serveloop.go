@@ -1,0 +1,35 @@
+package daemon
+
+import (
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"crossinv/internal/obs"
+	"crossinv/internal/runtime/trace"
+)
+
+// ServeWorkloadLoop is the `crossinv -serve` mode folded onto the daemon
+// internals: one observability surface (the internal/obs mux, same as the
+// daemon's Handler) on an existing listener, while the caller's workload
+// re-runs in a loop on this goroutine. The recorder's counters accumulate
+// across runs — the monotone series Prometheus counters expect — and the
+// serve.runs gauge reports completed iterations. runs == 0 loops until
+// the process is killed; otherwise the listener closes after the last
+// run.
+func ServeWorkloadLoop(ln net.Listener, runs int, rec *trace.Recorder, runOnce func()) error {
+	var completed atomic.Int64
+	mux := obs.NewMux(rec, func(g *trace.Registry) {
+		g.SetGauge("serve.runs", float64(completed.Load()))
+	})
+	go func() {
+		// http.Serve always returns a non-nil error once the listener
+		// closes; that is the loop's normal shutdown, not a failure.
+		_ = http.Serve(ln, mux)
+	}()
+	for i := 0; runs == 0 || i < runs; i++ {
+		runOnce()
+		completed.Add(1)
+	}
+	return ln.Close()
+}

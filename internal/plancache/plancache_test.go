@@ -1,0 +1,223 @@
+package plancache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testKey(src string) Key {
+	return Key{SourceHash: strings.Repeat("ab", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range") + "|" + src}
+}
+
+func testPlan() Plan {
+	return Plan{
+		SeqChecksum: 0xdeadbeefcafef00d,
+		Regions:     2,
+		RegionIndex: 1,
+		Facts: []RegionFacts{{
+			Var: "i", Pos: "cg.lnl:17", AdvisorPlan: "domore (cross-invocation deps)",
+			InnerClasses: []string{"j: doall"}, CrossInvDeps: 3,
+		}},
+		Profile:   &Profile{Tasks: 400, Epochs: 40, Conflicts: 12, MinDistance: 9, PerLoop: map[string]int64{"j": 9}},
+		Adaptive:  &AdaptiveSeed{Start: "domore", Window: 32},
+		Engine:    "domore",
+		LintClean: true,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("a")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := testPlan()
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(wantJSON) != string(gotJSON) {
+		t.Errorf("round trip drifted:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	c := s.Counters()
+	if c["plancache.hit"] != 1 || c["plancache.miss"] != 1 || c["plancache.put"] != 1 || c["plancache.corrupt"] != 0 {
+		t.Errorf("counters = %v, want 1 hit / 1 miss / 1 put / 0 corrupt", c)
+	}
+}
+
+// TestKeySeparation: same source under a different fingerprint (or a
+// different source under the same fingerprint) addresses a different entry.
+func TestKeySeparation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range")}
+	b := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 1, "range")}
+	c := Key{SourceHash: strings.Repeat("bb", 32), Fingerprint: a.Fingerprint}
+	if a.ID() == b.ID() || a.ID() == c.ID() {
+		t.Fatal("distinct keys share an ID")
+	}
+	if err := s.Put(a, Plan{SeqChecksum: 1, Regions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Error("fingerprint b hit entry written under fingerprint a")
+	}
+	if _, ok := s.Get(c); ok {
+		t.Error("source c hit entry written under source a")
+	}
+}
+
+// TestCorruptEntryIsAMiss is the robustness regression: every corruption
+// shape — truncation, garbage, payload tampering, schema drift — must read
+// as a miss (recompute), never an error, and must increment
+// plancache.corrupt. A subsequent Put must repair the slot.
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mang func(raw []byte) []byte
+	}{
+		{"truncated", func(raw []byte) []byte { return raw[:len(raw)/3] }},
+		{"garbage", func(raw []byte) []byte { return []byte("{not json") }},
+		{"empty", func(raw []byte) []byte { return nil }},
+		{"tampered payload", func(raw []byte) []byte {
+			// Flip the cached oracle checksum without updating the
+			// integrity hash — the dangerous case: a plausible entry whose
+			// plan would verify wrong results as right.
+			return []byte(strings.Replace(string(raw), `"seq_checksum": `, `"seq_checksum": 1`, 1))
+		}},
+		{"wrong schema", func(raw []byte) []byte {
+			return []byte(strings.Replace(string(raw), Schema, "crossinv-plancache/v0", 1))
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(tc.name)
+			if err := s.Put(key, testPlan()); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(s.Dir(), key.ID()[:2], key.ID()+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mang(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupted entry served as a hit")
+			}
+			if got := s.Counters()["plancache.corrupt"]; got != 1 {
+				t.Errorf("plancache.corrupt = %d, want 1", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt file not quarantined: stat err = %v", err)
+			}
+
+			// Recovery: recompute-and-Put must restore a serving entry.
+			if err := s.Put(key, testPlan()); err != nil {
+				t.Fatalf("re-Put after corruption: %v", err)
+			}
+			if got, ok := s.Get(key); !ok || got.SeqChecksum != testPlan().SeqChecksum {
+				t.Fatalf("entry not recovered after re-Put (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+func TestListSkipsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testKey("good")
+	if err := s.Put(good, testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	bad := testKey("bad")
+	if err := s.Put(bad, testPlan()); err != nil {
+		t.Fatal(err)
+	}
+	badPath := filepath.Join(s.Dir(), bad.ID()[:2], bad.ID()+".json")
+	if err := os.WriteFile(badPath, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos := s.List()
+	if len(infos) != 1 {
+		t.Fatalf("List returned %d entries, want 1 (corrupt one skipped)", len(infos))
+	}
+	if infos[0].ID != good.ID() || !infos[0].Profiled || infos[0].Engine != "domore" {
+		t.Errorf("List row %+v does not describe the good entry", infos[0])
+	}
+}
+
+// TestConcurrentAccess hammers one store from many goroutines (the daemon
+// serves concurrent invocations over a shared store) — run under -race in
+// the CI daemon job.
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := testKey(string(rune('a' + g%4)))
+			for i := 0; i < 50; i++ {
+				if i%5 == 0 {
+					if err := s.Put(key, testPlan()); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				s.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Counters()["plancache.corrupt"]; got != 0 {
+		t.Errorf("concurrent access produced %d corrupt reads", got)
+	}
+}
+
+func TestFlushWritesStats(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Get(testKey("x")) // one miss
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(s.Dir(), "stats.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]int64
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["plancache.miss"] != 1 {
+		t.Errorf("flushed stats = %v, want 1 miss", stats)
+	}
+}

@@ -1,0 +1,63 @@
+package adaptive
+
+import "crossinv/internal/runtime/speccross"
+
+// NoConflictDistance re-exports speccross.NoConflict for seed callers
+// that carry profile distances without importing the engine.
+const NoConflictDistance = speccross.NoConflict
+
+// This file is the static–dynamic synergy seam (ROADMAP item 5, "The
+// Potential of Synergistic Static, Dynamic and Speculative Loop Nest
+// Optimizations"): instead of starting every adaptive execution cold with
+// the default probe engine, a caller holding profile history — typically
+// the crossinvd plan cache — primes the policy state before the first
+// window runs.
+
+// ParseEngine maps an engine's display name back to its identifier — the
+// inverse of Engine.String, used to revive cached seeds.
+func ParseEngine(name string) (Engine, bool) {
+	switch name {
+	case "domore":
+		return EngineDomore, true
+	case "speccross":
+		return EngineSpecCross, true
+	case "barrier":
+		return EngineBarrier, true
+	}
+	return 0, false
+}
+
+// SeedFromProfile primes the config from a §4.4 conflict profile
+// (minDistance as speccross.ProfileResult.MinDistance reports it,
+// NoConflict meaning none observed):
+//
+//   - profitable speculation (distance ≥ workers, the paper's threshold):
+//     start directly in SPECCROSS with the profiled distance installed as
+//     the speculative-range bound — skipping the cold DOMORE probe window
+//     the default Start would spend rediscovering what the profile knows;
+//   - unprofitable speculation: the paper's rule is "speculation will not
+//     be done", so the policy is pinned to DOMORE. The default
+//     ThresholdPolicy only ever moves between DOMORE and SPECCROSS, so
+//     pinning is exactly threshold-minus-speculation — and it keeps
+//     profile-gated runs deterministic under the race detector (entering
+//     SPECCROSS below the profiled distance races by design).
+//
+// Callers that also cached a preferred start engine or window (plan-cache
+// adaptive seeds) should set Start/Window before calling; SeedFromProfile
+// only overrides Start when the profile demands it.
+func (c *Config) SeedFromProfile(minDistance int64, workers int) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if minDistance != NoConflictDistance && minDistance < int64(workers) {
+		c.Start = EngineDomore
+		c.Policy = Fixed(EngineDomore)
+		return
+	}
+	c.Start = EngineSpecCross
+	if minDistance != NoConflictDistance {
+		c.Spec.SpecDistance = minDistance
+	} else {
+		c.Spec.SpecDistance = 0
+	}
+}

@@ -1,0 +1,72 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"crossinv/internal/runtime/adaptive"
+)
+
+func TestParseEngine(t *testing.T) {
+	for e := adaptive.Engine(0); e < adaptive.NumEngines; e++ {
+		got, ok := adaptive.ParseEngine(e.String())
+		if !ok || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, ok)
+		}
+	}
+	if _, ok := adaptive.ParseEngine("warp-drive"); ok {
+		t.Error("ParseEngine accepted an unknown name")
+	}
+}
+
+func TestSeedFromProfile(t *testing.T) {
+	// Profitable: distance at/above the worker count starts SPECCROSS
+	// with the profiled bound installed.
+	var cfg adaptive.Config
+	cfg.SeedFromProfile(16, 4)
+	if cfg.Start != adaptive.EngineSpecCross || cfg.Spec.SpecDistance != 16 {
+		t.Errorf("profitable seed: start %v distance %d, want speccross/16", cfg.Start, cfg.Spec.SpecDistance)
+	}
+	if cfg.Policy != nil {
+		t.Error("profitable seed must leave the policy adaptive")
+	}
+
+	// No observed conflict: unbounded speculation.
+	cfg = adaptive.Config{}
+	cfg.SeedFromProfile(adaptive.NoConflictDistance, 4)
+	if cfg.Start != adaptive.EngineSpecCross || cfg.Spec.SpecDistance != 0 {
+		t.Errorf("no-conflict seed: start %v distance %d, want speccross/0", cfg.Start, cfg.Spec.SpecDistance)
+	}
+
+	// Unprofitable: §4.4 declines to speculate — pinned to DOMORE.
+	cfg = adaptive.Config{}
+	cfg.SeedFromProfile(2, 4)
+	if cfg.Start != adaptive.EngineDomore {
+		t.Errorf("unprofitable seed started %v, want domore", cfg.Start)
+	}
+	fixed, ok := cfg.Policy.(adaptive.Fixed)
+	if !ok || adaptive.Engine(fixed) != adaptive.EngineDomore {
+		t.Errorf("unprofitable seed policy = %#v, want Fixed(domore)", cfg.Policy)
+	}
+}
+
+// TestSeededRunMatchesSequential executes a profile-seeded adaptive run end
+// to end on the phased test kernel and checks the result still matches
+// sequential — seeding biases decisions, never correctness — and that the
+// seeded start engine actually ran the first window (the cold probe was
+// skipped).
+func TestSeededRunMatchesSequential(t *testing.T) {
+	want := seqChecksum(false)
+	k := buildKernel(false)
+	cfg := adaptive.Config{Workers: 4, Window: 8}
+	cfg.SeedFromProfile(safeDist, 4) // profitable: 15 ≥ 4, gated and race-free
+	stats := adaptive.Run(k, cfg)
+	if stats.Windows == 0 {
+		t.Fatal("no windows executed")
+	}
+	if stats.Samples[0].Engine != adaptive.EngineSpecCross {
+		t.Errorf("first window ran %v, want the seeded speccross start", stats.Samples[0].Engine)
+	}
+	if got := k.Checksum(); got != want {
+		t.Errorf("seeded adaptive checksum %x != sequential %x", got, want)
+	}
+}

@@ -1,0 +1,53 @@
+package workloadtest
+
+import (
+	"testing"
+
+	"crossinv/internal/plancache"
+	"crossinv/internal/workloads"
+
+	_ "crossinv/internal/workloads/blackscholes"
+	_ "crossinv/internal/workloads/cg"
+	_ "crossinv/internal/workloads/eclat"
+	_ "crossinv/internal/workloads/epochal"
+	_ "crossinv/internal/workloads/equake"
+	_ "crossinv/internal/workloads/fdtd"
+	_ "crossinv/internal/workloads/fluidanimate"
+	_ "crossinv/internal/workloads/jacobi"
+	_ "crossinv/internal/workloads/llubench"
+	_ "crossinv/internal/workloads/loopdep"
+	_ "crossinv/internal/workloads/phased"
+	_ "crossinv/internal/workloads/symm"
+)
+
+// TestCachedPlanMatchesCold is the warm-path equivalence suite (daemon
+// satellite): for every benchmark where all four engines apply, running
+// from a plan that went through the on-disk cache must reproduce the cold
+// checksums exactly. One shared store across sub-tests also exercises
+// distinct keys coexisting in one cache directory.
+func TestCachedPlanMatchesCold(t *testing.T) {
+	store, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range workloads.All() {
+		if !e.DomoreOK || !e.SpecOK {
+			continue
+		}
+		ran++
+		t.Run(e.Name, func(t *testing.T) {
+			CachedPlanMatchesCold(t, store, e.Name)
+		})
+	}
+	if ran < 3 {
+		t.Fatalf("only %d four-engine benchmarks found; registry shrank?", ran)
+	}
+	c := store.Counters()
+	if c["plancache.put"] != int64(ran) || c["plancache.hit"] != int64(ran) {
+		t.Errorf("store counters %v: want %d puts and %d hits", c, ran, ran)
+	}
+	if c["plancache.corrupt"] != 0 {
+		t.Errorf("plancache.corrupt = %d on a healthy store", c["plancache.corrupt"])
+	}
+}

@@ -13,8 +13,11 @@
 //	-workers  worker thread count (default 4)
 //	-region   candidate region index (default: last detected)
 //	-report   print the per-region analysis report and exit
+//	-analyze  print the cross-invocation dependence report (distance and
+//	          direction vectors, per-region none/forward-only/cyclic/unknown
+//	          classification) and exit
 //	-lint     run the static plan verifier and exit (nonzero on any error)
-//	-json     with -lint: emit diagnostics as a JSON array
+//	-json     with -lint or -analyze: emit the result as JSON
 //	-dump     print the lowered IR and exit
 //	-profile  run the §4.4 profiling pass before speculating (speccross)
 //	-ckpt     SPECCROSS checkpoint period in epochs (default 1000)
@@ -43,6 +46,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -68,8 +72,9 @@ var (
 	workers = flag.Int("workers", 4, "worker thread count")
 	region  = flag.Int("region", -1, "candidate region index (-1: last)")
 	report  = flag.Bool("report", false, "print the analysis report and exit")
+	analyze = flag.Bool("analyze", false, "print the cross-invocation dependence report and exit")
 	lint    = flag.Bool("lint", false, "run the static plan verifier and exit (nonzero on any error)")
-	jsonOut = flag.Bool("json", false, "with -lint: emit diagnostics as a JSON array")
+	jsonOut = flag.Bool("json", false, "with -lint or -analyze: emit the result as JSON")
 	dump    = flag.Bool("dump", false, "print the lowered IR and exit")
 	profile = flag.Bool("profile", false, "profile before speculating")
 	ckpt    = flag.Int("ckpt", 1000, "speccross checkpoint period (epochs)")
@@ -110,8 +115,8 @@ func main() {
 		fatal(err)
 	}
 	if *remote != "" {
-		if *report || *lint || *dump || *sweep || *serve != "" || *traceFile != "" || *metrics || *misspec > 0 {
-			fatal(fmt.Errorf("-remote sends the program to a daemon; it cannot combine with local-analysis flags (-report/-lint/-dump/-sweep/-serve/-trace/-metrics/-misspec)"))
+		if *report || *analyze || *lint || *dump || *sweep || *serve != "" || *traceFile != "" || *metrics || *misspec > 0 {
+			fatal(fmt.Errorf("-remote sends the program to a daemon; it cannot combine with local-analysis flags (-report/-analyze/-lint/-dump/-sweep/-serve/-trace/-metrics/-misspec)"))
 		}
 		if err := runRemote(*remote, string(src), *mode, *workers, *region, *window); err != nil {
 			fatal(err)
@@ -139,6 +144,14 @@ func main() {
 	}
 	if *report {
 		fmt.Print(reportOutput(c))
+		return
+	}
+	if *analyze {
+		out, err := analyzeOutput(c, *jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
 		return
 	}
 
@@ -369,6 +382,21 @@ func lintOutput(c *core.Compiled, file string, asJSON bool) (string, bool, error
 		return string(raw) + "\n", list.HasErrors(), nil
 	}
 	return list.Text(), list.HasErrors(), nil
+}
+
+// analyzeOutput renders the cross-invocation dependence facts, as the
+// human-readable report or as the serialized Facts JSON (the exact form
+// whose hash feeds the plan-cache fingerprint).
+func analyzeOutput(c *core.Compiled, asJSON bool) (string, error) {
+	facts := c.XDep()
+	if asJSON {
+		raw, err := json.MarshalIndent(facts, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(raw) + "\n", nil
+	}
+	return facts.Text(), nil
 }
 
 // reportOutput renders the per-region analysis report.

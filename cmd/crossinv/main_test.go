@@ -161,6 +161,41 @@ func TestReportGolden(t *testing.T) {
 	}
 }
 
+// TestAnalyzeGolden pins the -analyze cross-invocation dependence report
+// (text and JSON) across the classification spectrum: stencil and
+// bad_parfor (cyclic — every invocation rewrites the same locations), and
+// cg and irregular (unknown — symbolic bounds, index-array subscripts).
+func TestAnalyzeGolden(t *testing.T) {
+	examples := map[string]string{
+		"stencil":    filepath.Join("..", "..", "examples", "compiler", "stencil.lnl"),
+		"cg":         filepath.Join("..", "..", "examples", "compiler", "cg.lnl"),
+		"bad_parfor": filepath.Join("testdata", "bad_parfor.lnl"),
+		"irregular":  filepath.Join("testdata", "irregular.lnl"),
+	}
+	for name, path := range examples {
+		t.Run(name, func(t *testing.T) {
+			c := compileFile(t, path)
+			out, err := analyzeOutput(c, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, filepath.Join("testdata", name+".analyze.golden"), out)
+		})
+	}
+
+	// The JSON form is the serialized Facts — the exact bytes whose hash
+	// feeds the plan-cache fingerprint — pinned once for the irregular case.
+	c := compileFile(t, examples["irregular"])
+	jsonText, err := analyzeOutput(c, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "irregular.analyze.json.golden"), jsonText)
+	if !strings.Contains(jsonText, `"class": "unknown"`) {
+		t.Error("irregular JSON report lost the unknown classification")
+	}
+}
+
 // TestLintGolden pins the -lint output: empty (and exit-clean) for the
 // example programs, and the exact text and JSON diagnostics for a program
 // whose parfor annotation the verifier disproves.

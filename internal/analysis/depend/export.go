@@ -1,0 +1,24 @@
+package depend
+
+import "crossinv/internal/ir"
+
+// This file exports the subscript-test building blocks to the
+// cross-invocation analyzer (internal/analysis/xdep), which runs the same
+// decomposition the intra-loop SIV tests use, but against a region
+// variable and with inner-loop terms reduced to constant ranges.
+
+// StripVar returns form f with the v term removed, plus v's coefficient —
+// the first step of every subscript pair test.
+func StripVar(f Lin, v string) (rest Lin, coeff int64) { return stripVar(f, v) }
+
+// ConstBounds evaluates l's bound sequences when they are constant,
+// returning the half-open iteration range [lo, hi).
+func ConstBounds(l *ir.Loop) (lo, hi int64, ok bool) { return constBounds(l) }
+
+// VarVariesIn reports whether variable name, appearing in access a's
+// subscript, takes different values across iterations of l: it names a
+// loop nested inside l on a's loop stack, or it is a synthetic parameter
+// whose definition sits inside l.
+func (r *Result) VarVariesIn(name string, a *Access, l *ir.Loop) bool {
+	return r.varVaries(name, a, l)
+}

@@ -47,6 +47,7 @@ const (
 	CheckMTCG      = "mtcg"
 	CheckSignature = "signature"
 	CheckAdvisor   = "advisor"
+	CheckXDep      = "xdep"
 )
 
 // hardEdge reports whether the partition must honor the edge: everything

@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"reflect"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/xdep"
+	"crossinv/internal/diag"
+	"crossinv/internal/ir"
+)
+
+// XDep cross-checks a cross-invocation facts report (freshly computed,
+// cached, or received over the wire) against the IR: the analyzer is
+// re-run and the supplied report must reproduce it exactly. The check
+// ranks its findings — a claim *below* the recomputed severity (the
+// report licenses parallelism a proven dependence forbids) is called out
+// as a contradiction, because an engine plan built on it would drop
+// synchronization the program needs; any other drift is stale facts.
+//
+// This is the verifier half of the xdep conservatism contract: the chaos
+// harness checks claims against runtime conflicts, XDep checks reports
+// against the analyzer. Every Corrupt* mutation in internal/analysis/xdep
+// must be caught here.
+func XDep(p *ir.Program, dep *depend.Result, regions []*ir.Loop, facts *xdep.Facts) diag.List {
+	var out diag.List
+	var pos0 ir.Instr // zero positions for program-level findings
+	if facts == nil {
+		out.Errorf(CheckXDep, pos0.Pos, "no cross-invocation facts supplied for program %q", p.Name)
+		return out
+	}
+	fresh := xdep.Analyze(p, dep, regions)
+	if facts.Schema != fresh.Schema {
+		out.Errorf(CheckXDep, pos0.Pos,
+			"facts schema %q does not match analyzer schema %q; the report is from a different analyzer version",
+			facts.Schema, fresh.Schema)
+		return out
+	}
+	if facts.Program != fresh.Program {
+		out.Errorf(CheckXDep, pos0.Pos,
+			"facts are for program %q, not %q", facts.Program, p.Name)
+		return out
+	}
+	if len(facts.Regions) != len(fresh.Regions) {
+		out.Errorf(CheckXDep, pos0.Pos,
+			"facts cover %d regions, program has %d candidate regions", len(facts.Regions), len(fresh.Regions))
+		return out
+	}
+
+	for i := range fresh.Regions {
+		got, want := &facts.Regions[i], &fresh.Regions[i]
+		pos := regions[i].Pos
+
+		if got.Class != want.Class {
+			gc, gok := xdep.ParseClass(got.Class)
+			wc, wok := xdep.ParseClass(want.Class)
+			if gok && wok && gc < wc {
+				out.Errorf(CheckXDep, pos,
+					"region %q claims %s but the analyzer proves %s: the plan contradicts a proven cross-invocation dependence",
+					want.Var, got.Class, want.Class)
+			} else {
+				out.Errorf(CheckXDep, pos,
+					"region %q facts classify %s, analyzer says %s (stale or corrupted report)",
+					want.Var, got.Class, want.Class)
+			}
+		}
+		if got.MinDistance != want.MinDistance || got.MaxDistance != want.MaxDistance {
+			out.Errorf(CheckXDep, pos,
+				"region %q facts bound distances [%d, %d], analyzer proves [%d, %d]",
+				want.Var, got.MinDistance, got.MaxDistance, want.MinDistance, want.MaxDistance)
+		}
+		if len(got.Evidence) != len(want.Evidence) {
+			out.Errorf(CheckXDep, pos,
+				"region %q facts record %d subscript pairs, analyzer tested %d: the report does not account for every access pair",
+				want.Var, len(got.Evidence), len(want.Evidence))
+			continue
+		}
+		for j := range want.Evidence {
+			ge, we := got.Evidence[j], want.Evidence[j]
+			if reflect.DeepEqual(ge, we) {
+				continue
+			}
+			epos := pos
+			if we.Src >= 0 && we.Src < len(p.Instrs) {
+				epos = p.Instrs[we.Src].Pos
+			}
+			if !reflect.DeepEqual(ge.Vector, we.Vector) && ge.Array == we.Array && ge.Class == we.Class {
+				out.Errorf(CheckXDep, epos,
+					"region %q pair %s(%d,%d): direction vector %v does not match the analyzer's %v",
+					want.Var, we.Array, we.Src, we.Dst, ge.Vector, we.Vector)
+				continue
+			}
+			out.Errorf(CheckXDep, epos,
+				"region %q pair %d drifted: facts say %s/%s on %s, analyzer says %s/%s on %s",
+				want.Var, j, ge.Class, ge.Test, ge.Array, we.Class, we.Test, we.Array)
+		}
+		if !reflect.DeepEqual(got.LoopPairs, want.LoopPairs) {
+			out.Errorf(CheckXDep, pos,
+				"region %q loop-pair classes %v do not match the analyzer's %v",
+				want.Var, got.LoopPairs, want.LoopPairs)
+		}
+	}
+	out.Sort()
+	return out
+}

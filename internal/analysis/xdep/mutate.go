@@ -1,0 +1,55 @@
+package xdep
+
+// Mutation helpers: deliberately corrupt a Facts report the way a buggy
+// analyzer (or a rotted cache entry) would, so tests can prove the
+// verifier cross-check (verify.XDep) catches each corruption. They mirror
+// the Corrupt* idiom of internal/analysis/verify/mutate.go: mutate in
+// place, pick a deterministic target, and report whether a target existed.
+
+// CorruptFlipDirection flips the first forward ("<") direction-vector
+// entry to backward (">") — the kind of sign error a distance solver bug
+// would produce.
+func CorruptFlipDirection(f *Facts) bool {
+	for ri := range f.Regions {
+		for ei := range f.Regions[ri].Evidence {
+			for vi := range f.Regions[ri].Evidence[ei].Vector {
+				v := &f.Regions[ri].Evidence[ei].Vector[vi]
+				if v.Dir == "<" {
+					v.Dir = ">"
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CorruptDropPair removes the first tested subscript pair from the first
+// region that has any — a coverage hole: the report no longer accounts
+// for an access pair the program contains.
+func CorruptDropPair(f *Facts) bool {
+	for ri := range f.Regions {
+		ev := f.Regions[ri].Evidence
+		if len(ev) > 0 {
+			f.Regions[ri].Evidence = ev[1:]
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptWidenCyclic rewrites the first cyclic (or unknown) region verdict
+// to `none` — the optimistic widening the conservatism contract forbids:
+// an engine trusting it would drop synchronization a proven dependence
+// needs.
+func CorruptWidenCyclic(f *Facts) bool {
+	for ri := range f.Regions {
+		r := &f.Regions[ri]
+		if r.Class == Cyclic.String() || r.Class == Unknown.String() {
+			r.Class = None.String()
+			r.MinDistance, r.MaxDistance = 0, 0
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package xdep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renders the facts in the crossinv -analyze report style: one block
+// per region with its verdict, distance bounds, loop-pair breakdown, and
+// the per-array evidence lines pointing at the tested accesses.
+func (f *Facts) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cross-invocation analysis: %s (%s, facts %s)\n",
+		f.Program, f.Schema, f.Hash()[:12])
+	if len(f.Regions) == 0 {
+		b.WriteString("no candidate regions (no outer loop with parallel inner loops)\n")
+		return b.String()
+	}
+	for _, r := range f.Regions {
+		fmt.Fprintf(&b, "region: outer loop %q at %s\n", r.Var, r.Pos)
+		fmt.Fprintf(&b, "  class: %s%s\n", r.Class, distanceText(&r))
+		for _, lp := range r.LoopPairs {
+			fmt.Fprintf(&b, "  loops (%s, %s): %s\n", lp.A, lp.B, lp.Class)
+		}
+		for _, e := range r.Evidence {
+			fmt.Fprintf(&b, "  %s: %s [%s] %s -> %s%s\n",
+				e.Array, e.Class, e.Test, e.SrcPos, e.DstPos, vectorText(e.Vector))
+		}
+	}
+	return b.String()
+}
+
+func distanceText(r *RegionDeps) string {
+	if r.Class != ForwardOnly.String() {
+		return ""
+	}
+	return fmt.Sprintf(", distance [%d, %d]", r.MinDistance, r.MaxDistance)
+}
+
+func vectorText(v []VectorEntry) string {
+	if len(v) == 0 {
+		return ""
+	}
+	parts := make([]string, len(v))
+	for i, e := range v {
+		if e.HasDistance {
+			parts[i] = fmt.Sprintf("%s:%s%d", e.Loop, e.Dir, e.Distance)
+		} else {
+			parts[i] = fmt.Sprintf("%s:%s", e.Loop, e.Dir)
+		}
+	}
+	return "  (" + strings.Join(parts, " ") + ")"
+}

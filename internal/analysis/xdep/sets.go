@@ -1,0 +1,88 @@
+package xdep
+
+// This file classifies *explicit* per-invocation access sets — the form
+// the chaos harness's generated workloads declare — with the same class
+// vocabulary as the affine analyzer. Explicit finite sets always yield
+// exact answers: either no cross-invocation conflict exists (`none`) or
+// every conflict has a concrete forward distance (`forward-only` with
+// exact bounds). The chaos soundness gate replays the same workload
+// through shadow memory at runtime and fails the sweep if this claim was
+// ever optimistic.
+
+// EpochAccess declares one invocation's read and write address sets.
+type EpochAccess struct {
+	Reads  []uint64
+	Writes []uint64
+}
+
+// SetFacts is the classification of a sequence of explicit access sets.
+type SetFacts struct {
+	Class Class `json:"-"`
+	// ClassName mirrors Class for serialization.
+	ClassName string `json:"class"`
+	// MinDistance/MaxDistance bound the conflict distances (in epochs)
+	// when Class is forward-only.
+	MinDistance int64 `json:"min_distance,omitempty"`
+	MaxDistance int64 `json:"max_distance,omitempty"`
+	// Conflicts counts the (address, epoch pair) conflicts found.
+	Conflicts int `json:"conflicts"`
+}
+
+// ClassifySets computes the exact cross-invocation classification of the
+// declared epochs: a conflict is a write in one epoch against a read or
+// write of the same address in a different epoch.
+func ClassifySets(epochs []EpochAccess) SetFacts {
+	firstW := map[uint64]int{}
+	lastW := map[uint64]int{}
+	firstR := map[uint64]int{}
+	lastR := map[uint64]int{}
+	f := SetFacts{Class: None}
+
+	// hit records a conflict between epoch e and the span of earlier
+	// accesses [first, last]: the nearest gives the minimum distance, the
+	// earliest the maximum — exact, since every epoch in between that
+	// touched the address only yields distances inside that span.
+	hit := func(e, first, last int) {
+		f.Conflicts++
+		if d := int64(e - last); f.MinDistance == 0 || d < f.MinDistance {
+			f.MinDistance = d
+		}
+		if d := int64(e - first); d > f.MaxDistance {
+			f.MaxDistance = d
+		}
+	}
+	for e, ep := range epochs {
+		for _, w := range ep.Writes {
+			// WAW and WAR against earlier epochs.
+			if p, ok := lastW[w]; ok {
+				hit(e, firstW[w], p)
+			}
+			if p, ok := lastR[w]; ok {
+				hit(e, firstR[w], p)
+			}
+		}
+		for _, r := range ep.Reads {
+			// RAW against earlier epochs.
+			if p, ok := lastW[r]; ok {
+				hit(e, firstW[r], p)
+			}
+		}
+		for _, w := range ep.Writes {
+			if _, ok := firstW[w]; !ok {
+				firstW[w] = e
+			}
+			lastW[w] = e
+		}
+		for _, r := range ep.Reads {
+			if _, ok := firstR[r]; !ok {
+				firstR[r] = e
+			}
+			lastR[r] = e
+		}
+	}
+	if f.Conflicts > 0 {
+		f.Class = ForwardOnly
+	}
+	f.ClassName = f.Class.String()
+	return f
+}

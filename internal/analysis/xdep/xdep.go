@@ -1,0 +1,539 @@
+// Package xdep is the static cross-invocation dependence analyzer: it
+// upgrades the affine subscript forms of internal/analysis/depend into
+// distance/direction vectors with respect to a candidate region's outer
+// loop, using the classic GCD and Banerjee-style subscript tests, and
+// classifies every (inner loop, inner loop) pair and the whole
+// (invocation, invocation) relation as one of four classes:
+//
+//   - none         — no cross-invocation dependence can exist (the region
+//     is provably DOALL across invocations: barriers are pure overhead and
+//     speculation can never misspeculate);
+//   - forward-only — dependences exist but every one flows a bounded
+//     number of invocations forward (the DOMORE pipeline regime; the
+//     minimum distance bounds the profitable speculation window);
+//   - cyclic       — an affine recurrence with unbounded distance (e.g. a
+//     location rewritten every invocation): every invocation may conflict
+//     with every earlier one;
+//   - unknown      — the subscripts defeat the affine tests (index
+//     arrays, symbolic values recomputed inside the region) — the
+//     Chapter 2 limitation the paper's runtimes exist for.
+//
+// Conservatism contract: the classes are ordered none < forward-only <
+// cyclic < unknown, and the analyzer may only ever err UPWARD in that
+// order. A claim of `none` or `forward-only` is a proof obligation — the
+// chaos harness's soundness gate (internal/chaos) checks every generated
+// workload's claim against shadow-memory conflicts observed at runtime,
+// and the verifier cross-check (verify.XDep) recomputes the facts and
+// rejects any report that drifted optimistic.
+//
+// The report (Facts) is fully serializable — per-array evidence with
+// source positions, per-pair direction vectors, and a canonical hash that
+// content-addresses the verdict. The hash feeds the plancache fingerprint
+// so a stale static verdict can never be replayed against changed source.
+package xdep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"crossinv/internal/analysis/depend"
+	"crossinv/internal/ir"
+)
+
+// Schema identifies the Facts format; bump on breaking changes so cached
+// reports from older analyzers read as stale.
+const Schema = "crossinv-xdep/v1"
+
+// Class is the four-way cross-invocation classification, ordered by
+// severity: a sound analyzer may report a higher class than the truth,
+// never a lower one.
+type Class int
+
+// Classification levels, least to most constrained.
+const (
+	None Class = iota
+	ForwardOnly
+	Cyclic
+	Unknown
+)
+
+var classNames = [...]string{"none", "forward-only", "cyclic", "unknown"}
+
+// String returns the class name used in reports and serialized facts.
+func (c Class) String() string {
+	if c < None || c > Unknown {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ParseClass maps a serialized class name back to its value.
+func ParseClass(s string) (Class, bool) {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i), true
+		}
+	}
+	return Unknown, false
+}
+
+// maxClass returns the more severe of two classes.
+func maxClass(a, b Class) Class {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// VectorEntry is one loop level of a dependence's direction vector.
+type VectorEntry struct {
+	// Loop is the induction variable of the level.
+	Loop string `json:"loop"`
+	// Dir is the direction: "<" (source before sink), ">" (after), "="
+	// (same iteration), "*" (any).
+	Dir string `json:"dir"`
+	// Distance is the dependence distance in iterations when resolved.
+	Distance    int64 `json:"distance,omitempty"`
+	HasDistance bool  `json:"has_distance,omitempty"`
+}
+
+// Evidence is one tested subscript pair — the per-array proof (or
+// counterexample) backing a region's classification. Src/Dst are
+// instruction IDs; positions are internal/diag-style line:col strings so
+// `crossinv -analyze` can point at the offending accesses.
+type Evidence struct {
+	Array  string        `json:"array"`
+	Src    int           `json:"src"`
+	Dst    int           `json:"dst"`
+	SrcPos string        `json:"src_pos"`
+	DstPos string        `json:"dst_pos"`
+	Test   string        `json:"test"` // ziv | siv | banerjee | gcd | non-affine | symbolic
+	Class  string        `json:"class"`
+	Vector []VectorEntry `json:"vector,omitempty"`
+}
+
+// LoopPair classifies the cross-invocation relation between two parallel
+// inner loops of a region (A == B for a loop against its own later
+// invocations).
+type LoopPair struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Class string `json:"class"`
+}
+
+// RegionDeps is the (invocation, invocation) verdict for one candidate
+// region, with the per-loop-pair breakdown and the evidence that produced
+// it.
+type RegionDeps struct {
+	// Var and Pos identify the region's outer loop.
+	Var string `json:"var"`
+	Pos string `json:"pos"`
+	// Class is the max-severity classification over every access pair in
+	// the region.
+	Class string `json:"class"`
+	// MinDistance/MaxDistance bound the forward dependence distances (in
+	// invocations) when Class is forward-only.
+	MinDistance int64 `json:"min_distance,omitempty"`
+	MaxDistance int64 `json:"max_distance,omitempty"`
+	// LoopPairs classifies each (parfor, parfor) pair of the region.
+	LoopPairs []LoopPair `json:"loop_pairs,omitempty"`
+	// Evidence lists every tested same-array pair with at least one write.
+	Evidence []Evidence `json:"evidence,omitempty"`
+}
+
+// Facts is the serializable cross-invocation dependence report for one
+// program — the machine-checkable artifact the adaptive runtime seeds
+// from, the verifier cross-checks, and the plan cache fingerprints.
+type Facts struct {
+	Schema  string       `json:"schema"`
+	Program string       `json:"program"`
+	Regions []RegionDeps `json:"regions"`
+}
+
+// Hash is the canonical content address of the report: the hex SHA-256 of
+// its deterministic JSON encoding (all fields are slices and scalars, so
+// encoding order is fixed). Two sources with different subscripts hash
+// differently, which is what keeps stale verdicts out of the plan cache.
+func (f *Facts) Hash() string {
+	raw, err := json.Marshal(f)
+	if err != nil {
+		// Facts contains only marshalable fields; reaching here means the
+		// struct definition itself regressed.
+		panic("xdep: facts not marshalable: " + err.Error())
+	}
+	h := sha256.Sum256(raw)
+	return hex.EncodeToString(h[:])
+}
+
+// Region returns the facts for the region with the given outer variable,
+// or nil.
+func (f *Facts) Region(v string) *RegionDeps {
+	for i := range f.Regions {
+		if f.Regions[i].Var == v {
+			return &f.Regions[i]
+		}
+	}
+	return nil
+}
+
+// Analyze runs the cross-invocation tests over every candidate region.
+func Analyze(p *ir.Program, dep *depend.Result, regions []*ir.Loop) *Facts {
+	f := &Facts{Schema: Schema, Program: p.Name}
+	for _, region := range regions {
+		f.Regions = append(f.Regions, analyzeRegion(dep, region))
+	}
+	return f
+}
+
+// reduced is one access's subscript with the region variable stripped and
+// every inner-loop variable replaced by its constant iteration range: the
+// address is c·r + base + t with t in [lo, hi], where r is the invocation
+// number and base holds only region-invariant symbols.
+type reduced struct {
+	base     depend.Lin
+	lo, hi   int64
+	banerjee bool // a nonzero-width range was folded in
+	ok       bool
+	why      string // failing test label when !ok
+}
+
+// reduce decomposes access a's subscript relative to region. Conservatism:
+// any term the decomposition cannot bound (non-affine forms, symbolic
+// values that vary inside the region, non-constant inner bounds) makes the
+// access unanalyzable, never silently constant.
+func reduce(dep *depend.Result, a *depend.Access, region *ir.Loop) (c int64, red reduced) {
+	if !a.Form.Known {
+		return 0, reduced{why: "non-affine"}
+	}
+	rest, c := depend.StripVar(a.Form, region.Var)
+
+	ri := -1
+	for i, l := range a.Loops {
+		if l == region {
+			ri = i
+		}
+	}
+	inner := map[string]*ir.Loop{}
+	if ri >= 0 {
+		for _, l := range a.Loops[ri+1:] {
+			inner[l.Var] = l
+		}
+	}
+
+	red = reduced{base: depend.Lin{Known: true, Const: rest.Const}, ok: true}
+	vars := make([]string, 0, len(rest.Coeffs))
+	for v := range rest.Coeffs {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		coeff := rest.Coeff(v)
+		if l, isInner := inner[v]; isInner {
+			blo, bhi, ok := depend.ConstBounds(l)
+			if !ok || bhi <= blo {
+				return c, reduced{why: "symbolic"}
+			}
+			// v ranges over [blo, bhi); fold coeff·v into the interval.
+			first, last := coeff*blo, coeff*(bhi-1)
+			if first > last {
+				first, last = last, first
+			}
+			red.lo += first
+			red.hi += last
+			if last > first {
+				red.banerjee = true
+			}
+			continue
+		}
+		if dep.VarVariesIn(v, a, region) {
+			// The symbol is recomputed inside the region (an inner scalar,
+			// a value loaded from memory): its per-invocation value is
+			// unknowable statically.
+			return c, reduced{why: "symbolic"}
+		}
+		if red.base.Coeffs == nil {
+			red.base.Coeffs = map[string]int64{}
+		}
+		red.base.Coeffs[v] = coeff
+	}
+	return c, red
+}
+
+// pairResult is one access pair's classification.
+type pairResult struct {
+	class       Class
+	test        string
+	minD, maxD  int64
+	hasDistance bool
+}
+
+// classifyPair runs the ZIV/SIV/GCD/Banerjee ladder on one same-array
+// access pair with respect to the region's invocation variable. The
+// dependence equation across invocations r1 (of a1) and r2 (of a2) is
+//
+//	c1·r1 + base1 + t1 = c2·r2 + base2 + t2,  t1 ∈ [lo1,hi1], t2 ∈ [lo2,hi2]
+//
+// so c1·r1 − c2·r2 must land in [Δ+lo2−hi1, Δ+hi2−lo1] with Δ = base2−base1.
+func classifyPair(dep *depend.Result, a1, a2 *depend.Access, region *ir.Loop) pairResult {
+	c1, r1 := reduce(dep, a1, region)
+	c2, r2 := reduce(dep, a2, region)
+	if !r1.ok {
+		return pairResult{class: Unknown, test: r1.why}
+	}
+	if !r2.ok {
+		return pairResult{class: Unknown, test: r2.why}
+	}
+	d := depend.SubLin(r2.base, r1.base)
+	if !d.Known || !d.IsConst() {
+		// Region-invariant symbols that do not cancel: the offset between
+		// the two subscripts is unknown.
+		return pairResult{class: Unknown, test: "symbolic"}
+	}
+	dlo := d.Const + r2.lo - r1.hi
+	dhi := d.Const + r2.hi - r1.lo
+	test := "siv"
+	if r1.banerjee || r2.banerjee {
+		test = "banerjee"
+	}
+
+	switch {
+	case c1 == 0 && c2 == 0:
+		// ZIV: neither subscript moves with the invocation. Disjoint
+		// address ranges disprove everything; overlap conflicts at every
+		// invocation pair — an unbounded recurrence.
+		if dlo > 0 || dhi < 0 {
+			return pairResult{class: None, test: "ziv"}
+		}
+		return pairResult{class: Cyclic, test: "ziv"}
+
+	case c1 == c2:
+		// Strong SIV: c·(r1 − r2) = Δ', so the distance k = r2 − r1
+		// satisfies c·k ∈ [−dhi, −dlo] — a finite integer set.
+		kmin, kmax, any := kRange(c1, -dhi, -dlo)
+		if !any {
+			return pairResult{class: None, test: test}
+		}
+		if kmin == 0 && kmax == 0 {
+			// Same-invocation only; no cross-invocation dependence.
+			return pairResult{class: None, test: test}
+		}
+		var minD int64
+		switch {
+		case kmin > 0:
+			minD = kmin
+		case kmax < 0:
+			minD = -kmax
+		default:
+			minD = 1
+		}
+		maxD := kmax
+		if -kmin > maxD {
+			maxD = -kmin
+		}
+		return pairResult{class: ForwardOnly, test: test, minD: minD, maxD: maxD, hasDistance: true}
+
+	default:
+		// Weak SIV / GCD: c1·r1 − c2·r2 = Δ' has an integer solution iff
+		// gcd(c1,c2) divides some Δ' in range — and when it does, solutions
+		// exist at unboundedly many distances.
+		g := gcd64(c1, c2)
+		if g != 0 && floorDiv(dhi, g)*g < dlo {
+			return pairResult{class: None, test: "gcd"}
+		}
+		return pairResult{class: Cyclic, test: "gcd"}
+	}
+}
+
+// kRange returns the integer solutions k of c·k ∈ [a, b] (empty when none).
+func kRange(c, a, b int64) (kmin, kmax int64, any bool) {
+	if a > b || c == 0 {
+		return 0, 0, false
+	}
+	if c > 0 {
+		kmin, kmax = ceilDiv(a, c), floorDiv(b, c)
+	} else {
+		kmin, kmax = ceilDiv(b, c), floorDiv(a, c)
+	}
+	return kmin, kmax, kmin <= kmax
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 { return -floorDiv(-a, b) }
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// vector builds the direction vector for an evidence row: the region level
+// first, then every loop level the two accesses share below the region
+// (classified by the intra-loop SIV tests).
+func vector(dep *depend.Result, a1, a2 *depend.Access, region *ir.Loop, pr pairResult) []VectorEntry {
+	var out []VectorEntry
+	switch pr.class {
+	case None:
+		out = append(out, VectorEntry{Loop: region.Var, Dir: "="})
+	case ForwardOnly:
+		out = append(out, VectorEntry{Loop: region.Var, Dir: "<", Distance: pr.minD, HasDistance: true})
+	default:
+		out = append(out, VectorEntry{Loop: region.Var, Dir: "*"})
+	}
+	for _, l := range commonLoopsBelow(a1, a2, region) {
+		e := VectorEntry{Loop: l.Var}
+		depExists, dist, has := dep.TestPair(a1, a2, l)
+		switch {
+		case !depExists:
+			e.Dir = "="
+		case has:
+			e.Dir = "<"
+			if dist < 0 {
+				e.Dir, dist = ">", -dist
+			}
+			e.Distance, e.HasDistance = dist, true
+		default:
+			e.Dir = "*"
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// commonLoopsBelow returns the loops both accesses sit in strictly inside
+// region, outermost first, stopping at the first level where their nests
+// diverge.
+func commonLoopsBelow(a1, a2 *depend.Access, region *ir.Loop) []*ir.Loop {
+	idx := func(a *depend.Access) int {
+		for i, l := range a.Loops {
+			if l == region {
+				return i
+			}
+		}
+		return -1
+	}
+	i1, i2 := idx(a1), idx(a2)
+	if i1 < 0 || i2 < 0 {
+		return nil
+	}
+	s1, s2 := a1.Loops[i1+1:], a2.Loops[i2+1:]
+	var out []*ir.Loop
+	for i := 0; i < len(s1) && i < len(s2) && s1[i] == s2[i]; i++ {
+		out = append(out, s1[i])
+	}
+	return out
+}
+
+// parforOf maps an access to the direct parfor child of region it executes
+// in, or nil for the sequential skeleton.
+func parforOf(a *depend.Access, region *ir.Loop) *ir.Loop {
+	ri := -1
+	for i, l := range a.Loops {
+		if l == region {
+			ri = i
+		}
+	}
+	if ri < 0 || ri+1 >= len(a.Loops) {
+		return nil
+	}
+	cand := a.Loops[ri+1]
+	if !cand.Parallel {
+		return nil
+	}
+	for _, n := range region.Body {
+		if l, ok := n.(*ir.Loop); ok && l == cand {
+			return cand
+		}
+	}
+	return nil
+}
+
+func analyzeRegion(dep *depend.Result, region *ir.Loop) RegionDeps {
+	rd := RegionDeps{Var: region.Var, Pos: region.Pos.String(), Class: None.String()}
+
+	var inside []*depend.Access
+	for _, a := range dep.Accesses {
+		if a.InLoop(region) {
+			inside = append(inside, a)
+		}
+	}
+
+	regionClass := None
+	var minD, maxD int64
+	type pairKey struct{ a, b int } // loop IDs, a <= b
+	loopClass := map[pairKey]Class{}
+	loopVars := map[int]string{}
+
+	for i, a1 := range inside {
+		for _, a2 := range inside[i:] {
+			if a1.Array != a2.Array || (!a1.IsWrite && !a2.IsWrite) {
+				continue
+			}
+			pr := classifyPair(dep, a1, a2, region)
+			regionClass = maxClass(regionClass, pr.class)
+			if pr.hasDistance {
+				if minD == 0 || pr.minD < minD {
+					minD = pr.minD
+				}
+				if pr.maxD > maxD {
+					maxD = pr.maxD
+				}
+			}
+			rd.Evidence = append(rd.Evidence, Evidence{
+				Array:  a1.Array,
+				Src:    a1.Instr.ID,
+				Dst:    a2.Instr.ID,
+				SrcPos: a1.Instr.Pos.String(),
+				DstPos: a2.Instr.Pos.String(),
+				Test:   pr.test,
+				Class:  pr.class.String(),
+				Vector: vector(dep, a1, a2, region, pr),
+			})
+			if p1, p2 := parforOf(a1, region), parforOf(a2, region); p1 != nil && p2 != nil {
+				k := pairKey{p1.ID, p2.ID}
+				if k.a > k.b {
+					k.a, k.b = k.b, k.a
+				}
+				loopClass[k] = maxClass(loopClass[k], pr.class)
+				loopVars[p1.ID], loopVars[p2.ID] = p1.Var, p2.Var
+			}
+		}
+	}
+
+	rd.Class = regionClass.String()
+	if regionClass == ForwardOnly {
+		rd.MinDistance, rd.MaxDistance = minD, maxD
+	}
+	keys := make([]pairKey, 0, len(loopClass))
+	for k := range loopClass {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		rd.LoopPairs = append(rd.LoopPairs, LoopPair{
+			A: loopVars[k.a], B: loopVars[k.b], Class: loopClass[k].String(),
+		})
+	}
+	return rd
+}

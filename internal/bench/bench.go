@@ -176,6 +176,9 @@ func cellSpecs(opts Options) []cellSpec {
 	for _, s := range microSpecs(opts) {
 		add(s)
 	}
+	for _, s := range seedSpecs(opts) {
+		add(s)
+	}
 	for _, s := range daemonSpecs(opts) {
 		add(s)
 	}

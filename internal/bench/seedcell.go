@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"time"
+
+	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/trace"
+	"crossinv/internal/workloads/epochal"
+)
+
+// Seed cells quantify what the static cross-invocation analyzer buys the
+// adaptive runtime: the same workload run cold (no facts — the controller
+// probes, escalates to unbounded speculation, misspeculates on the real
+// forward dependence, rolls back, and backs off, repeatedly) versus
+// seeded via Config.SeedFromFacts with the analyzer's proven verdict
+// (forward-only, minimum distance seedMinDistance), which pre-loads the
+// speculative-range bound so every speculative window is gated inside the
+// proven window and never misspeculates.
+//
+//	adaptive/seed.cold   — Config zero value: probe, misspeculate, flap
+//	adaptive/seed.static — SeedFromFacts("forward-only", seedMinDistance)
+//
+// The gap between the two cells is structural (whole-window rollback and
+// barrier re-execution on every unbounded speculative attempt), which is
+// what lets TestSeedCellsPassMannWhitneyGate hold it to the same
+// significance gate `bench -compare` applies between snapshots.
+const (
+	seedEpochs = 48
+	seedTasks  = 32
+	seedWindow = 6
+	// seedMinDistance is the kernel's exact minimum dependence distance in
+	// tasks: task 0 of every epoch reads and rewrites one hot cell, a
+	// lag-1-epoch recurrence, so conflicting tasks sit exactly one epoch —
+	// seedTasks tasks — apart. This is the distance the xdep analyzer
+	// would prove and the plan cache would replay.
+	seedMinDistance = seedTasks
+	// seedSpin is the per-task real-compute spin (see Update below).
+	seedSpin = 5000
+)
+
+// seedKernel builds the forward-only pipeline instance. Every task owns a
+// private cell; task 0 additionally carries the hot-cell recurrence. The
+// manifest rate is 1/seedTasks ≈ 3% — below the threshold policy's
+// SpecEnter bound, so a cold controller always escalates to speculation.
+func seedKernel() *epochal.Kernel {
+	const hot = uint64(seedEpochs * seedTasks) // one past the private cells
+	k := &epochal.Kernel{
+		BenchName: "SEED-FWD",
+		State:     make([]int64, seedEpochs*seedTasks+1),
+		NumEpochs: seedEpochs,
+		SeqCost:   150,
+	}
+	k.TasksOf = func(int) int { return seedTasks }
+	k.Access = func(e, t int, reads, writes []uint64) ([]uint64, []uint64) {
+		a := uint64(e*seedTasks + t)
+		if t == 0 {
+			return append(reads, a, hot), append(writes, a, hot)
+		}
+		return append(reads, a), append(writes, a)
+	}
+	k.Update = func(e, t int) {
+		g := e*seedTasks + t
+		// Real compute, not just the virtual TaskCost the sim uses: the
+		// cells compare wall time, and with free tasks every engine cell
+		// measures only its own overhead — the misspeculation re-execution
+		// the cold run pays would vanish into it. An LCG spin makes task
+		// compute dominate, so re-executing a rolled-back window costs what
+		// it costs in the paper's regime.
+		v := k.State[g]
+		for i := 0; i < seedSpin; i++ {
+			v = v*6364136223846793005 + 1442695040888963407
+		}
+		k.State[g] = v*3 + int64(g) + 1
+		if t == 0 {
+			k.State[hot] = k.State[hot]*3 + int64(e) + 1
+		}
+	}
+	k.TaskCost = func(int, int) int64 { return seedSpin }
+	return k
+}
+
+func seedConfig(static bool, workers int, rec *trace.Recorder) adaptive.Config {
+	cfg := adaptive.Config{Workers: workers, Window: seedWindow, Trace: rec}
+	if static {
+		if !cfg.SeedFromFacts("forward-only", seedMinDistance) {
+			panic("bench seed cell: SeedFromFacts rejected forward-only")
+		}
+	}
+	return cfg
+}
+
+// seedSpecs builds the two cells. Each sample gets a fresh kernel (the
+// run mutates State) and a fresh config (the threshold policy is
+// stateful).
+func seedSpecs(opts Options) []cellSpec {
+	var specs []cellSpec
+	for _, c := range []struct {
+		name   string
+		static bool
+	}{
+		{"seed.cold", false},
+		{"seed.static", true},
+	} {
+		c := c
+		specs = append(specs, cellSpec{
+			id: "adaptive/" + c.name, engine: "adaptive", workload: c.name,
+			prepare: func() func() {
+				k := seedKernel()
+				cfg := seedConfig(c.static, opts.Workers, nil)
+				return func() { adaptive.Run(k, cfg) }
+			},
+			traced: func() (*trace.Recorder, time.Duration) {
+				k := seedKernel()
+				rec := trace.NewRecorder()
+				cfg := seedConfig(c.static, opts.Workers, rec)
+				start := time.Now()
+				adaptive.Run(k, cfg)
+				return rec, time.Since(start)
+			},
+		})
+	}
+	return specs
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"crossinv/internal/analysis/xdep"
 	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/speccross"
@@ -84,11 +85,25 @@ func (f Failure) String() string {
 }
 
 // RunSpec executes the case under every engine and returns all detected
-// failures (nil when every engine matches the oracle).
+// failures (nil when every engine matches the oracle). Before any engine
+// runs, the static soundness gate classifies the case's declared access
+// sets and checks the claim against shadow-memory-observed conflicts —
+// a statically "conflict-free" case with a real runtime conflict fails
+// the sweep before it can mislead an engine.
 func RunSpec(spec *Spec, opts Options) []Failure {
 	opts.fill()
-	want := spec.SequentialState()
 	var fails []Failure
+	claim := StaticClaim(spec)
+	if opts.Mutation == MutWidenStatic {
+		claim = xdep.SetFacts{Class: xdep.None, ClassName: xdep.None.String()}
+	}
+	if detail := CheckStaticSoundness(spec, claim); detail != "" {
+		fails = append(fails, Failure{
+			Engine: "static", Faults: opts.Faults.String(),
+			Mutation: string(opts.Mutation), Detail: detail, Spec: spec,
+		})
+	}
+	want := spec.SequentialState()
 	for _, eng := range Engines {
 		if f := runEngine(spec, eng, want, opts); f != nil {
 			fails = append(fails, *f)

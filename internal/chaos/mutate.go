@@ -31,18 +31,24 @@ const (
 	// MutSkipRestore turns Restore into a no-op, so misspeculation
 	// recovery re-executes on top of poisoned speculative state.
 	MutSkipRestore Mutation = "skip-restore"
+	// MutWidenStatic corrupts the static cross-invocation claim rather
+	// than the engines: the xdep-style classification of the case is
+	// forced to "none" (provably conflict-free) regardless of its declared
+	// access sets. The soundness gate must catch the lie by observing a
+	// real cross-epoch conflict through shadow memory.
+	MutWidenStatic Mutation = "widen-static"
 )
 
 // Mutations lists the non-empty mutation kinds.
 func Mutations() []Mutation {
-	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore}
+	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore, MutWidenStatic}
 }
 
 // ParseMutation validates a -mutate flag value.
 func ParseMutation(s string) (Mutation, error) {
 	m := Mutation(s)
 	switch m {
-	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore:
+	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore, MutWidenStatic:
 		return m, nil
 	}
 	return MutNone, fmt.Errorf("chaos: unknown mutation %q", s)
@@ -96,9 +102,10 @@ func MutationCatcher() *Spec {
 }
 
 // Wrap applies the mutation to a case's kernel. MutNone returns the
-// kernel unchanged.
+// kernel unchanged, as does MutWidenStatic — it lies about the analysis,
+// not the execution (RunSpec corrupts the claim before the gate).
 func (m Mutation) Wrap(k *epochal.Kernel) adaptive.Workload {
-	if m == MutNone {
+	if m == MutNone || m == MutWidenStatic {
 		return k
 	}
 	return &mutated{k: k, m: m}

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"fmt"
+
+	"crossinv/internal/analysis/xdep"
+	"crossinv/internal/runtime/shadow"
+)
+
+// This file is the differential soundness gate for the static
+// cross-invocation analyzer: every generated workload's declared access
+// sets are classified by xdep.ClassifySets (the claim), the same case is
+// then walked epoch by epoch through shadow memory — the runtime's own
+// conflict detector — and the claim is checked against what actually
+// manifested. The xdep conservatism contract says the analyzer may only
+// err upward (claim more dependence than exists); a claim of `none` with
+// an observed runtime conflict, or a `forward-only` minimum distance
+// above an observed distance, is optimism — the bug class that would make
+// an engine drop synchronization a program needs — and fails the sweep.
+
+// StaticClaim computes the static cross-invocation verdict for a case
+// from its declared per-epoch access sets.
+func StaticClaim(spec *Spec) xdep.SetFacts {
+	epochs := make([]xdep.EpochAccess, len(spec.Epochs))
+	for e := range spec.Epochs {
+		for t := range spec.Epochs[e].Tasks {
+			ts := &spec.Epochs[e].Tasks[t]
+			epochs[e].Reads = append(epochs[e].Reads, ts.Reads...)
+			epochs[e].Writes = append(epochs[e].Writes, ts.Writes...)
+		}
+	}
+	return xdep.ClassifySets(epochs)
+}
+
+// observeConflicts materializes the case's kernel and replays its access
+// stream in sequential epoch order through two shadow stores (last writer,
+// last reader per address — the DOMORE scheduler's own detector),
+// returning the cross-epoch conflict count and the minimum observed
+// conflict distance in epochs (0 when no conflict manifested).
+func observeConflicts(spec *Spec) (conflicts int, minDist int64) {
+	k := spec.Kernel()
+	writes, reads := shadow.NewSparse(), shadow.NewSparse()
+	hit := func(last shadow.Entry, e int) {
+		if last.Iter == shadow.None || last.Iter == int64(e) {
+			return
+		}
+		conflicts++
+		if d := int64(e) - last.Iter; minDist == 0 || d < minDist {
+			minDist = d
+		}
+	}
+	var rbuf, wbuf []uint64
+	for e := 0; e < k.Epochs(); e++ {
+		// Lookups for the whole epoch first: same-epoch tasks are
+		// independent by Validate, so only earlier epochs conflict.
+		for t := 0; t < k.Tasks(e); t++ {
+			rbuf, wbuf = k.Access(e, t, rbuf[:0], wbuf[:0])
+			for _, a := range rbuf {
+				hit(writes.Lookup(a), e) // RAW
+			}
+			for _, a := range wbuf {
+				hit(writes.Lookup(a), e) // WAW
+				hit(reads.Lookup(a), e)  // WAR
+			}
+		}
+		for t := 0; t < k.Tasks(e); t++ {
+			rbuf, wbuf = k.Access(e, t, rbuf[:0], wbuf[:0])
+			for _, a := range rbuf {
+				reads.Update(a, 0, int64(e))
+			}
+			for _, a := range wbuf {
+				writes.Update(a, 0, int64(e))
+			}
+		}
+	}
+	return conflicts, minDist
+}
+
+// CheckStaticSoundness diffs a static claim against the runtime-observed
+// conflicts for the case and returns a non-empty detail string when the
+// claim is optimistic — the direction the conservatism contract forbids.
+func CheckStaticSoundness(spec *Spec, claim xdep.SetFacts) string {
+	conflicts, minDist := observeConflicts(spec)
+	switch claim.Class {
+	case xdep.None:
+		if conflicts > 0 {
+			return fmt.Sprintf(
+				"static claim 'none' is optimistic: runtime observed %d cross-epoch conflicts (min distance %d)",
+				conflicts, minDist)
+		}
+	case xdep.ForwardOnly:
+		if conflicts > 0 && minDist < claim.MinDistance {
+			return fmt.Sprintf(
+				"static claim 'forward-only min distance %d' is optimistic: runtime observed distance %d",
+				claim.MinDistance, minDist)
+		}
+	}
+	// Cyclic/unknown license nothing, so they can never be optimistic.
+	return ""
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"crossinv/internal/analysis/xdep"
+)
+
+// TestStaticClaimMatchesRuntime: on the catcher case (writer epoch 2i,
+// reader epoch 2i+1) the declared-set classification is exact —
+// forward-only with distance 1 — and the shadow-memory observation agrees,
+// so the honest claim passes the gate.
+func TestStaticClaimMatchesRuntime(t *testing.T) {
+	spec := MutationCatcher()
+	claim := StaticClaim(spec)
+	if claim.Class != xdep.ForwardOnly || claim.MinDistance != 1 {
+		t.Fatalf("claim = %s min %d, want forward-only min 1", claim.ClassName, claim.MinDistance)
+	}
+	if detail := CheckStaticSoundness(spec, claim); detail != "" {
+		t.Errorf("honest claim failed the gate: %s", detail)
+	}
+
+	conflicts, minDist := observeConflicts(spec)
+	if conflicts != claim.Conflicts || minDist != claim.MinDistance {
+		t.Errorf("observed %d conflicts min %d, claim says %d min %d",
+			conflicts, minDist, claim.Conflicts, claim.MinDistance)
+	}
+}
+
+// TestOptimisticClaimFailsGate pins both forbidden directions: a claim of
+// none where conflicts manifest, and a forward-only minimum distance above
+// what the runtime observes.
+func TestOptimisticClaimFailsGate(t *testing.T) {
+	spec := MutationCatcher()
+	none := xdep.SetFacts{Class: xdep.None, ClassName: "none"}
+	if detail := CheckStaticSoundness(spec, none); !strings.Contains(detail, "optimistic") {
+		t.Errorf("widened 'none' claim passed the gate: %q", detail)
+	}
+	far := xdep.SetFacts{Class: xdep.ForwardOnly, ClassName: "forward-only", MinDistance: 5}
+	if detail := CheckStaticSoundness(spec, far); !strings.Contains(detail, "optimistic") {
+		t.Errorf("inflated min-distance claim passed the gate: %q", detail)
+	}
+	// Cyclic licenses nothing, so it can never be optimistic.
+	cyc := xdep.SetFacts{Class: xdep.Cyclic, ClassName: "cyclic"}
+	if detail := CheckStaticSoundness(spec, cyc); detail != "" {
+		t.Errorf("cyclic claim failed the gate: %s", detail)
+	}
+}
+
+// TestWidenStaticMutationCaught drives the mutation end to end through
+// RunSpec: the corrupted claim must produce a deterministic "static"
+// failure on the first run, before any engine executes.
+func TestWidenStaticMutationCaught(t *testing.T) {
+	spec := MutationCatcher()
+	fails := RunSpec(spec, Options{Mutation: MutWidenStatic})
+	var caught bool
+	for _, f := range fails {
+		if f.Engine == "static" && strings.Contains(f.Detail, "optimistic") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("widen-static not caught by the soundness gate: %v", fails)
+	}
+}
+
+// TestSweepSoundnessGate is the per-seed half of the 200-seed CI sweep's
+// acceptance criterion in miniature: over a bundle of generated workloads,
+// zero cases where the static classification claims none/forward-only and
+// the runtime observes a contradicting conflict.
+func TestSweepSoundnessGate(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		spec := Generate(seed)
+		if detail := CheckStaticSoundness(spec, StaticClaim(spec)); detail != "" {
+			t.Errorf("seed %d: %s", seed, detail)
+		}
+	}
+}

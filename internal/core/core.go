@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"crossinv/internal/analysis/depend"
+	"crossinv/internal/analysis/xdep"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
 	"crossinv/internal/lang/parser"
@@ -32,6 +33,20 @@ type Compiled struct {
 	// Regions lists candidate outer loops (sequential loops directly
 	// containing parfor children), in preorder.
 	Regions []*ir.Loop
+
+	xdepFacts *xdep.Facts // lazily built by XDep
+}
+
+// XDep returns the cross-invocation dependence facts for every candidate
+// region: distance/direction vectors and a none / forward-only / cyclic /
+// unknown classification per region. The report is computed once per
+// Compiled and cached — it is a pure function of the IR, and its Hash()
+// content-addresses the dependence structure for the plan cache.
+func (c *Compiled) XDep() *xdep.Facts {
+	if c.xdepFacts == nil {
+		c.xdepFacts = xdep.Analyze(c.Prog, c.Dep, c.Regions)
+	}
+	return c.xdepFacts
 }
 
 // Compile parses, lowers, and analyzes source text.
@@ -46,6 +61,9 @@ func Compile(src string) (*Compiled, error) {
 	}
 	c := &Compiled{Prog: p, Dep: depend.Analyze(p)}
 	c.Regions = speccrossgen.Detect(p)
+	// Compute the cross-invocation facts eagerly so a Compiled shared
+	// across daemon requests never lazily mutates under concurrent readers.
+	c.xdepFacts = xdep.Analyze(p, c.Dep, c.Regions)
 	return c, nil
 }
 

@@ -24,6 +24,10 @@ func (c *Compiled) Lint() diag.List {
 		rec := advisor.Advise(c.Prog, c.Dep, l)
 		out = append(out, verify.Advisor(c.Prog, c.Dep, l, rec)...)
 	}
+	// Cross-check the cached cross-invocation facts against a fresh
+	// analyzer run: no plan may rest on a verdict the analyzer would not
+	// reproduce (in particular, none claimed where a dependence is proven).
+	out = append(out, verify.XDep(c.Prog, c.Dep, c.Regions, c.XDep())...)
 	out.Sort()
 	return out
 }

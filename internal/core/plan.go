@@ -43,6 +43,14 @@ type RegionFacts struct {
 	// dependences — the quantity the paper's runtimes synchronize or
 	// speculate across.
 	CrossInvDeps int `json:"cross_inv_deps"`
+	// XDepClass is the xdep analyzer's verdict for the region (none /
+	// forward-only / cyclic / unknown) and XDepMinDistance /
+	// XDepMaxDistance its proven invocation-distance bounds (meaningful
+	// for forward-only). Cached plans replay these into
+	// adaptive.Config.SeedFromFacts.
+	XDepClass       string `json:"xdep_class,omitempty"`
+	XDepMinDistance int64  `json:"xdep_min_distance,omitempty"`
+	XDepMaxDistance int64  `json:"xdep_max_distance,omitempty"`
 }
 
 // Facts extracts the serializable analysis facts for every candidate
@@ -50,14 +58,21 @@ type RegionFacts struct {
 // cache stores Facts (not *Compiled, which holds live IR pointers), and a
 // warm invocation replays them instead of re-running Analyze.
 func (c *Compiled) Facts() []RegionFacts {
+	xd := c.XDep()
 	out := make([]RegionFacts, 0, len(c.Regions))
-	for _, region := range c.Regions {
+	for i, region := range c.Regions {
 		rec := advisor.Advise(c.Prog, c.Dep, region)
 		f := RegionFacts{
 			Var:          region.Var,
 			Pos:          region.Pos.String(),
 			AdvisorPlan:  fmt.Sprintf("%v (%s)", rec.Plan, rec.Reason),
 			CrossInvDeps: len(c.Dep.CrossInvocationDeps(region)),
+		}
+		if i < len(xd.Regions) {
+			r := &xd.Regions[i]
+			f.XDepClass = r.Class
+			f.XDepMinDistance = r.MinDistance
+			f.XDepMaxDistance = r.MaxDistance
 		}
 		for _, n := range region.Body {
 			if l, ok := n.(*ir.Loop); ok && l.Parallel {

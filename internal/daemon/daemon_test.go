@@ -7,12 +7,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"crossinv/internal/core"
+	"crossinv/internal/plancache"
 	"crossinv/internal/raceflag"
 )
 
@@ -510,5 +513,98 @@ func TestRejectionShapes(t *testing.T) {
 				t.Error("rejected request reported OK")
 			}
 		})
+	}
+}
+
+// TestChangedSubscriptInvalidatesPlan pins the xdep axis of the plan-cache
+// key: two programs identical in shape whose inner subscripts differ by
+// one lag constant must produce different facts hashes, hence different
+// fingerprints — a plan derived under one dependence verdict can never be
+// replayed for the other. The daemon echoes the hash into the stored plan
+// so adopt() can re-verify it on load.
+func TestChangedSubscriptInvalidatesPlan(t *testing.T) {
+	mk := func(lag int) string {
+		return `func pipe() {
+  var A[520]
+  parfor s = 0 .. 520 {
+    A[s] = s * 5 % 11
+  }
+  for t = 2 .. 64 {
+    parfor i = 0 .. 8 {
+      A[t*8 + i] = A[t*8 + i - ` + strconv.Itoa(lag) + `] * 3 + 1
+    }
+  }
+}
+`
+	}
+	ca, err := core.Compile(mk(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := core.Compile(mk(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, hb := ca.XDep().Hash(), cb.XDep().Hash()
+	if ha == hb {
+		t.Fatal("lag-8 and lag-16 subscripts share a facts hash")
+	}
+	fa := plancache.Fingerprint(core.PipelineVersion, 0, "range", ha)
+	fb := plancache.Fingerprint(core.PipelineVersion, 0, "range", hb)
+	if fa == fb {
+		t.Fatal("different facts hashes produced the same fingerprint")
+	}
+
+	// Even for one source hash, the two fingerprints address different
+	// cache slots: a plan stored under verdict A misses under verdict B.
+	store, err := plancache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := core.SourceHash(mk(8))
+	if err := store.Put(plancache.Key{SourceHash: src, Fingerprint: fa},
+		plancache.Plan{SeqChecksum: 1, Regions: 1, XDepHash: ha}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(plancache.Key{SourceHash: src, Fingerprint: fb}); ok {
+		t.Error("plan stored under one dependence verdict was served for another")
+	}
+
+	// End to end: the daemon stores the facts hash with the plan it writes.
+	s := newServer(t, Config{})
+	resp, status := s.Execute(&RunRequest{Source: mk(8), Mode: "domore"})
+	if status != 200 || !resp.OK {
+		t.Fatalf("domore run failed: %d %+v", status, resp)
+	}
+	infos := s.store.List()
+	if len(infos) == 0 {
+		t.Fatal("daemon stored no plan")
+	}
+	if !strings.Contains(infos[0].Fingerprint, "xdep="+ha) {
+		t.Errorf("stored fingerprint %q lacks the facts hash %s", infos[0].Fingerprint, ha)
+	}
+}
+
+// TestAdaptiveSkipsProfileForProvenDOALL pins the SeedFromFacts fast path:
+// a region the analyzer proves free of cross-invocation dependences runs
+// adaptive without ever paying the §4.4 profiling pass — the static facts
+// already license unbounded speculation.
+func TestAdaptiveSkipsProfileForProvenDOALL(t *testing.T) {
+	const doall = `func blocks() {
+  var A[512]
+  for t = 0 .. 64 {
+    parfor i = 0 .. 8 {
+      A[t*8 + i] = t + i
+    }
+  }
+}
+`
+	s := newServer(t, Config{})
+	resp, status := s.Execute(&RunRequest{Source: doall, Mode: "adaptive"})
+	if status != 200 || !resp.OK {
+		t.Fatalf("adaptive run failed: %d %+v", status, resp)
+	}
+	if n := s.spanProfile.Load(); n != 0 {
+		t.Errorf("provably-DOALL region still ran %d profiling passes", n)
 	}
 }

@@ -72,6 +72,7 @@ type program struct {
 	compiled   *core.Compiled
 	compileErr error
 	facts      []core.RegionFacts
+	xdepHash   string
 	lintClean  bool
 	oracleDone bool
 	oracle     uint64
@@ -142,6 +143,7 @@ func (p *program) ensureCompiled(s *Server, src string, st *spans) (*core.Compil
 		} else {
 			p.compiled = c
 			p.facts = c.Facts()
+			p.xdepHash = c.XDep().Hash()
 			p.lintClean = !c.Lint().HasErrors()
 		}
 	}
@@ -183,7 +185,12 @@ func (s *Server) adopt(p *program, rp *regionPlan, key plancache.Key, kind signa
 		return false
 	}
 	p.mu.Lock()
-	valid := p.compiled != nil && p.lintClean && plan.Regions == len(p.compiled.Regions)
+	valid := p.compiled != nil && p.lintClean && plan.Regions == len(p.compiled.Regions) &&
+		// Verify-on-load for the static verdict: the plan's echoed facts
+		// hash must match a fresh analyzer run. The fingerprint already
+		// keys on the hash, so a mismatch here means a tampered or
+		// colliding entry — recompute rather than trust it.
+		(plan.XDepHash == "" || plan.XDepHash == p.xdepHash)
 	if valid && needOracle {
 		p.oracle = plan.SeqChecksum
 		p.oracleDone = true
@@ -317,8 +324,11 @@ func toCacheFacts(fs []core.RegionFacts) []plancache.RegionFacts {
 	for i, f := range fs {
 		out[i] = plancache.RegionFacts{
 			Var: f.Var, Pos: f.Pos, AdvisorPlan: f.AdvisorPlan,
-			InnerClasses: append([]string(nil), f.InnerClasses...),
-			CrossInvDeps: f.CrossInvDeps,
+			InnerClasses:    append([]string(nil), f.InnerClasses...),
+			CrossInvDeps:    f.CrossInvDeps,
+			XDepClass:       f.XDepClass,
+			XDepMinDistance: f.XDepMinDistance,
+			XDepMaxDistance: f.XDepMaxDistance,
 		}
 	}
 	return out
@@ -333,6 +343,7 @@ func (s *Server) putPlan(p *program, rp *regionPlan, key plancache.Key, kind sig
 		Regions:     len(p.compiled.Regions),
 		RegionIndex: regionIdx,
 		Facts:       toCacheFacts(p.facts),
+		XDepHash:    p.xdepHash,
 		LintClean:   p.lintClean,
 	}
 	p.mu.Unlock()
@@ -410,9 +421,12 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 			regionIdx = 0
 		}
 	}
+	p.mu.Lock()
+	xdepHash := p.xdepHash
+	p.mu.Unlock()
 	key := plancache.Key{
 		SourceHash:  p.hash,
-		Fingerprint: plancache.Fingerprint(core.PipelineVersion, regionIdx, sigName(kind)),
+		Fingerprint: plancache.Fingerprint(core.PipelineVersion, regionIdx, sigName(kind), xdepHash),
 	}
 
 	// Sequential mode is its own oracle: run, record, done.
@@ -505,11 +519,6 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 			sum = res.Env.Checksum()
 		}
 	case "adaptive":
-		pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
-		if e != nil {
-			resp.AnalysisSpans = st.total()
-			return fail(422, "profile: %v", e)
-		}
 		cfg := adaptive.Config{Workers: workers, Window: req.Window}
 		if cfg.Window <= 0 {
 			rp.mu.Lock()
@@ -519,7 +528,27 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 			rp.mu.Unlock()
 		}
 		cfg.Spec.SigKind = kind
-		cfg.SeedFromProfile(pr.MinDistance, workers)
+		// Static facts seed first. A provably-DOALL region ("none") pins
+		// barrier-free speculation and the §4.4 profiling pass is skipped
+		// outright — there is no dependence to profile. Otherwise the
+		// static seed is a prior the dynamic profile refines.
+		var fclass string
+		var fdist int64
+		p.mu.Lock()
+		if regionIdx < len(p.facts) {
+			fclass = p.facts[regionIdx].XDepClass
+			fdist = p.facts[regionIdx].XDepMinDistance
+		}
+		p.mu.Unlock()
+		cfg.SeedFromFacts(fclass, fdist)
+		if fclass != "none" {
+			pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
+			if e != nil {
+				resp.AnalysisSpans = st.total()
+				return fail(422, "profile: %v", e)
+			}
+			cfg.SeedFromProfile(pr.MinDistance, workers)
+		}
 		res, e := c.RunAdaptive(region, cfg)
 		if e != nil {
 			rerr = e

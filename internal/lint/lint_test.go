@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// check parses src as one file of package pkg and runs the rules.
+func check(t *testing.T, pkg, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, pkg+".go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return CheckFile(fset, pkg, f)
+}
+
+func wantRule(t *testing.T, ds []Diagnostic, rule, substr string) {
+	t.Helper()
+	for _, d := range ds {
+		if d.Rule == rule && strings.Contains(d.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s diagnostic containing %q in %v", rule, substr, ds)
+}
+
+func TestStatsAtomicFlagsPlainWrites(t *testing.T) {
+	src := `package domore
+
+import "sync/atomic"
+
+type Stats struct{ Stalls, RangeStalls, Iterations int64 }
+
+func bad(s *Stats) {
+	s.Stalls++                   // flagged: increment
+	s.Stalls = s.Stalls + 1      // flagged: assignment
+	s.RangeStalls += 2           // flagged: compound assignment
+	s.Iterations++               // fine: single-writer field
+	_ = s.Stalls                 // fine: read
+	atomic.AddInt64(&s.Stalls, 1) // fine: the required idiom
+}
+`
+	ds := check(t, "domore", src)
+	if got := len(ds); got != 3 {
+		t.Fatalf("want 3 diagnostics, got %d: %v", got, ds)
+	}
+	wantRule(t, ds, "stats-atomic", "increment of audited Stats field Stalls")
+	wantRule(t, ds, "stats-atomic", "assignment of audited Stats field Stalls")
+	wantRule(t, ds, "stats-atomic", "assignment of audited Stats field RangeStalls")
+}
+
+func TestStatsAtomicScopedToEnginePackages(t *testing.T) {
+	// Post-join aggregation outside the engines (adaptive's window merge,
+	// the simulator) legitimately uses plain arithmetic — same source,
+	// different package name, zero findings.
+	src := `package adaptive
+
+type Stats struct{ Stalls int64 }
+
+func addDomore(dst, s *Stats) { dst.Stalls += s.Stalls }
+`
+	if ds := check(t, "adaptive", src); len(ds) != 0 {
+		t.Fatalf("aggregation outside engine packages flagged: %v", ds)
+	}
+}
+
+func TestNilGuardAcceptsAllThreeIdioms(t *testing.T) {
+	src := `package trace
+
+type Recorder struct{ n int }
+type ThreadTrace struct{ r *Recorder }
+
+// Leading early-return guard.
+func (r *Recorder) Summary() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Guard as the whole body.
+func (t *ThreadTrace) Enabled() bool { return t != nil }
+
+// Inverted body-wrapping guard.
+func (r *Recorder) WriteChrome() int {
+	var out int
+	if r != nil {
+		out = r.n
+	}
+	return out
+}
+
+// Unexported methods are called only behind an exported guard; exempt.
+func (r *Recorder) now() int { return r.n }
+`
+	if ds := check(t, "trace", src); len(ds) != 0 {
+		t.Fatalf("guarded idioms flagged: %v", ds)
+	}
+}
+
+func TestNilGuardFlagsUnguardedExportedMethod(t *testing.T) {
+	src := `package trace
+
+type Recorder struct{ n int }
+type other struct{ n int }
+
+func (r *Recorder) Events() int { return r.n }
+
+// Non-trace types in the same package are out of scope.
+func (o *other) Count() int { return o.n }
+`
+	ds := check(t, "trace", src)
+	if got := len(ds); got != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", got, ds)
+	}
+	wantRule(t, ds, "trace-nil-guard", "(*Recorder).Events has no nil-receiver guard")
+}
+
+func TestNilGuardScopedToTracePackage(t *testing.T) {
+	src := `package notrace
+
+type Recorder struct{ n int }
+
+func (r *Recorder) Events() int { return r.n }
+`
+	if ds := check(t, "notrace", src); len(ds) != 0 {
+		t.Fatalf("Recorder outside package trace flagged: %v", ds)
+	}
+}
+
+func TestCheckFilesSkipsTestsAndReportsParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "a.go")
+	testf := filepath.Join(dir, "a_test.go")
+	broken := filepath.Join(dir, "b.go")
+	os.WriteFile(good, []byte("package domore\ntype Stats struct{ Stalls int64 }\nfunc f(s *Stats) { s.Stalls++ }\n"), 0o644)
+	os.WriteFile(testf, []byte("package domore\nfunc g(s *Stats) { s.Stalls = 7 }\n"), 0o644)
+	os.WriteFile(broken, []byte("package domore\nfunc {"), 0o644)
+
+	ds := CheckFiles([]string{good, testf, broken})
+	wantRule(t, ds, "stats-atomic", "Stalls")
+	wantRule(t, ds, "parse", "expected")
+	for _, d := range ds {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			t.Fatalf("test file was not skipped: %v", d)
+		}
+	}
+}
+
+// TestRepoIsClean runs the pass over the real runtime tree: the audited
+// code must satisfy its own rules (this is the same sweep CI runs via
+// `go vet -vettool`).
+func TestRepoIsClean(t *testing.T) {
+	root := filepath.Join("..", "runtime")
+	if _, err := os.Stat(root); err != nil {
+		t.Skipf("runtime tree not present: %v", err)
+	}
+	ds, err := CheckDir(root)
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	if len(ds) != 0 {
+		for _, d := range ds {
+			t.Errorf("%s", d)
+		}
+	}
+}

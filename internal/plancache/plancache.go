@@ -36,18 +36,24 @@ const Schema = "crossinv-plancache/v1"
 
 // Key addresses one entry: the content hash of the program source plus a
 // fingerprint of everything else the cached artifacts depend on (pipeline
-// version, region index, signature kind — the engine/config axis).
+// version, region index, signature kind, and the cross-invocation facts
+// hash — the engine/config/analysis axis).
 type Key struct {
 	// SourceHash is the hex SHA-256 of the program source text.
 	SourceHash string
 	// Fingerprint folds the non-source inputs, e.g.
-	// "pipeline/v1|region=2|sig=range".
+	// "pipeline/v1|region=2|sig=range|xdep=ab12…".
 	Fingerprint string
 }
 
 // Fingerprint builds the canonical fingerprint string from its parts.
-func Fingerprint(pipeline string, region int, sig string) string {
-	return fmt.Sprintf("%s|region=%d|sig=%s", pipeline, region, sig)
+// xdep is the content hash of the static cross-invocation facts
+// (xdep.Facts.Hash(), or a fixed token like "none" for workloads without
+// static analysis): folding it into the key means a plan derived under one
+// dependence verdict can never be replayed against source whose subscripts
+// — and hence whose proven dependences — changed.
+func Fingerprint(pipeline string, region int, sig, xdep string) string {
+	return fmt.Sprintf("%s|region=%d|sig=%s|xdep=%s", pipeline, region, sig, xdep)
 }
 
 // ID is the entry's content address: the hex SHA-256 of the key pair.
@@ -80,11 +86,14 @@ type AdaptiveSeed struct {
 
 // RegionFacts mirrors core.RegionFacts (see that type for field docs).
 type RegionFacts struct {
-	Var          string   `json:"var"`
-	Pos          string   `json:"pos"`
-	AdvisorPlan  string   `json:"advisor_plan"`
-	InnerClasses []string `json:"inner_classes,omitempty"`
-	CrossInvDeps int      `json:"cross_inv_deps"`
+	Var             string   `json:"var"`
+	Pos             string   `json:"pos"`
+	AdvisorPlan     string   `json:"advisor_plan"`
+	InnerClasses    []string `json:"inner_classes,omitempty"`
+	CrossInvDeps    int      `json:"cross_inv_deps"`
+	XDepClass       string   `json:"xdep_class,omitempty"`
+	XDepMinDistance int64    `json:"xdep_min_distance,omitempty"`
+	XDepMaxDistance int64    `json:"xdep_max_distance,omitempty"`
 }
 
 // Plan is the cached payload: every pipeline artifact that is a pure
@@ -108,6 +117,11 @@ type Plan struct {
 	// Engine records the bench-informed engine choice for this program
 	// ("" when no bench history exists).
 	Engine string `json:"engine,omitempty"`
+	// XDepHash is the content hash of the static cross-invocation facts
+	// the plan was derived under. It echoes the fingerprint's xdep part so
+	// an adopter can re-verify the stored verdict against a fresh
+	// analyzer run before trusting the plan.
+	XDepHash string `json:"xdep_hash,omitempty"`
 	// LintClean records that the plan verifier passed when the entry was
 	// written; loaders re-verify regardless (verify-on-load), this flag
 	// just lets /plans report entries that were stored despite warnings.

@@ -10,7 +10,7 @@ import (
 )
 
 func testKey(src string) Key {
-	return Key{SourceHash: strings.Repeat("ab", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range") + "|" + src}
+	return Key{SourceHash: strings.Repeat("ab", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range", "facts0") + "|" + src}
 }
 
 func testPlan() Plan {
@@ -64,8 +64,8 @@ func TestKeySeparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range")}
-	b := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 1, "range")}
+	a := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 0, "range", "facts0")}
+	b := Key{SourceHash: strings.Repeat("aa", 32), Fingerprint: Fingerprint("pipeline/v1", 1, "range", "facts0")}
 	c := Key{SourceHash: strings.Repeat("bb", 32), Fingerprint: a.Fingerprint}
 	if a.ID() == b.ID() || a.ID() == c.ID() {
 		t.Fatal("distinct keys share an ID")

@@ -45,6 +45,45 @@ func ParseEngine(name string) (Engine, bool) {
 // Callers that also cached a preferred start engine or window (plan-cache
 // adaptive seeds) should set Start/Window before calling; SeedFromProfile
 // only overrides Start when the profile demands it.
+// SeedFromFacts primes the config from a static cross-invocation verdict
+// (an internal/analysis/xdep class name), so the first window already runs
+// the engine the dependence structure calls for instead of probing:
+//
+//   - "none": the region is provably DOALL across invocations — pin
+//     barrier-free speculation. With no cross-invocation dependence the
+//     speculative engine can never misspeculate, so the policy is fixed
+//     there and the unbounded speculative range (SpecDistance 0) applies;
+//   - "forward-only": every dependence flows a bounded number of
+//     invocations forward — start in DOMORE, the pipeline regime. When
+//     minDistance > 0 it pre-loads the speculative-range bound so a later
+//     policy escalation to SPECCROSS speculates within the proven window;
+//   - "cyclic" / "unknown": static analysis cannot license anything
+//     cheaper, which is exactly the regime the paper's runtimes target —
+//     start in SPECCROSS unpinned and let the threshold policy back off
+//     to DOMORE if the dependences actually manifest.
+//
+// An unrecognized class leaves the config untouched and reports false, so
+// callers replaying cached facts degrade to the cold default on schema
+// drift rather than mis-seeding.
+func (c *Config) SeedFromFacts(class string, minDistance int64) bool {
+	switch class {
+	case "none":
+		c.Start = EngineSpecCross
+		c.Policy = Fixed(EngineSpecCross)
+		c.Spec.SpecDistance = 0
+	case "forward-only":
+		c.Start = EngineDomore
+		if minDistance > 0 {
+			c.Spec.SpecDistance = minDistance
+		}
+	case "cyclic", "unknown":
+		c.Start = EngineSpecCross
+	default:
+		return false
+	}
+	return true
+}
+
 func (c *Config) SeedFromProfile(minDistance int64, workers int) {
 	if workers <= 0 {
 		workers = 1

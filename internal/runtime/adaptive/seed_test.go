@@ -49,6 +49,94 @@ func TestSeedFromProfile(t *testing.T) {
 	}
 }
 
+func TestSeedFromFacts(t *testing.T) {
+	// Provably DOALL across invocations: barrier-free speculation, pinned.
+	var cfg adaptive.Config
+	if !cfg.SeedFromFacts("none", 0) {
+		t.Fatal("SeedFromFacts rejected class none")
+	}
+	if cfg.Start != adaptive.EngineSpecCross || cfg.Spec.SpecDistance != 0 {
+		t.Errorf("none seed: start %v distance %d, want speccross/0", cfg.Start, cfg.Spec.SpecDistance)
+	}
+	fixed, ok := cfg.Policy.(adaptive.Fixed)
+	if !ok || adaptive.Engine(fixed) != adaptive.EngineSpecCross {
+		t.Errorf("none seed policy = %#v, want Fixed(speccross)", cfg.Policy)
+	}
+
+	// Forward-only: the DOMORE pipeline regime, with the proven distance
+	// pre-loaded as the speculative bound for a later escalation.
+	cfg = adaptive.Config{}
+	if !cfg.SeedFromFacts("forward-only", 12) {
+		t.Fatal("SeedFromFacts rejected class forward-only")
+	}
+	if cfg.Start != adaptive.EngineDomore || cfg.Spec.SpecDistance != 12 {
+		t.Errorf("forward-only seed: start %v distance %d, want domore/12", cfg.Start, cfg.Spec.SpecDistance)
+	}
+	if cfg.Policy != nil {
+		t.Error("forward-only seed must leave the policy adaptive")
+	}
+
+	// Cyclic and unknown: speculate, unpinned.
+	for _, class := range []string{"cyclic", "unknown"} {
+		cfg = adaptive.Config{}
+		if !cfg.SeedFromFacts(class, 0) {
+			t.Fatalf("SeedFromFacts rejected class %s", class)
+		}
+		if cfg.Start != adaptive.EngineSpecCross || cfg.Policy != nil {
+			t.Errorf("%s seed: start %v policy %#v, want unpinned speccross", class, cfg.Start, cfg.Policy)
+		}
+	}
+
+	// Schema drift: an unrecognized class must not touch the config.
+	cfg = adaptive.Config{}
+	if cfg.SeedFromFacts("diagonal", 3) {
+		t.Error("SeedFromFacts accepted an unknown class")
+	}
+	if cfg.Start != adaptive.EngineDomore || cfg.Spec.SpecDistance != 0 {
+		t.Errorf("rejected seed mutated the config: %+v", cfg)
+	}
+}
+
+// TestStaticSeedReachesStableEngineSooner is the ROADMAP item 5 claim in
+// miniature: on the phased kernel (whose first phase is conflict-heavy,
+// making DOMORE the right opening engine), a cold start — no knowledge, so
+// the blind barrier baseline — needs a probe window before the policy
+// lands on DOMORE, while a statically seeded run (xdep proved the
+// dependences forward-only) opens there. Both must still match sequential.
+func TestStaticSeedReachesStableEngineSooner(t *testing.T) {
+	firstStable := func(seed bool) int {
+		want := seqChecksum(false)
+		k := buildKernel(false)
+		cfg := adaptive.Config{Workers: 4, Window: 8}
+		if seed {
+			if !cfg.SeedFromFacts("forward-only", safeDist) {
+				t.Fatal("SeedFromFacts rejected forward-only")
+			}
+		} else {
+			cfg.Start = adaptive.EngineBarrier
+		}
+		stats := adaptive.Run(k, cfg)
+		if got := k.Checksum(); got != want {
+			t.Fatalf("seed=%v checksum %x != sequential %x", seed, got, want)
+		}
+		for i, s := range stats.Samples {
+			if s.Engine == adaptive.EngineDomore {
+				return i
+			}
+		}
+		t.Fatalf("seed=%v never ran DOMORE: %+v", seed, stats.Samples)
+		return -1
+	}
+	cold := firstStable(false)
+	seeded := firstStable(true)
+	if seeded >= cold {
+		t.Errorf("seeded run reached DOMORE at window %d, cold at %d; want seeded < cold", seeded, cold)
+	}
+	if seeded != 0 {
+		t.Errorf("seeded run's first window ran the wrong engine (stable at %d, want 0)", seeded)
+	}
+}
+
 // TestSeededRunMatchesSequential executes a profile-seeded adaptive run end
 // to end on the phased test kernel and checks the result still matches
 // sequential — seeding biases decisions, never correctness — and that the

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -93,13 +94,22 @@ func Run(opts Options) (*Result, error) {
 		for i := 0; i < opts.Warmup; i++ {
 			s.prepare()()
 		}
+		allocs := make([]float64, 0, opts.N)
 		for i := 0; i < opts.N; i++ {
 			run := s.prepare()
+			// MemStats reads bracket (never overlap) the timed region, so
+			// the allocs column costs the samples nothing.
+			var msBefore, msAfter runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
 			run()
-			c.Samples = append(c.Samples, float64(time.Since(start).Nanoseconds()))
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&msAfter)
+			c.Samples = append(c.Samples, float64(elapsed.Nanoseconds()))
+			allocs = append(allocs, float64(msAfter.Mallocs-msBefore.Mallocs))
 		}
 		c.summarize()
+		c.AllocsPerOp = Median(allocs)
 		if opts.Breakdown && s.traced != nil {
 			rec, wall := s.traced()
 			c.Breakdown = breakdown(rec, wall)
@@ -174,6 +184,9 @@ func cellSpecs(opts Options) []cellSpec {
 		}
 	}
 	for _, s := range microSpecs(opts) {
+		add(s)
+	}
+	for _, s := range ckptSpecs(opts) {
 		add(s)
 	}
 	for _, s := range seedSpecs(opts) {
@@ -389,6 +402,67 @@ func microSpecs(opts Options) []cellSpec {
 		})
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].id < specs[j].id })
+	return specs
+}
+
+// ckptWorkload isolates checkpoint cost: a large state (64k cells) with a
+// tiny owner-partitioned write set per task, under a short checkpoint
+// period. Full snapshots copy all cells at every segment boundary;
+// incremental checkpoints refresh only the tracked writes, so the two
+// cells' gap is the §4.2.2 checkpoint-substitution saving with everything
+// else held equal. Tasks of one epoch own disjoint cells and cross-epoch
+// writes stay within one owner (always the same worker row), so the run
+// never misspeculates.
+type ckptWorkload struct {
+	epochs, tasks, writes int
+	state                 []int64
+}
+
+func (w *ckptWorkload) Epochs() int                         { return w.epochs }
+func (w *ckptWorkload) Tasks(int) int                       { return w.tasks }
+func (w *ckptWorkload) Snapshot() any                       { return append([]int64(nil), w.state...) }
+func (w *ckptWorkload) Restore(s any)                       { copy(w.state, s.([]int64)) }
+func (w *ckptWorkload) StateLen() int                       { return len(w.state) }
+func (w *ckptWorkload) ReadCell(c uint64) int64             { return w.state[c] }
+func (w *ckptWorkload) WriteCell(c uint64, v int64)         { w.state[c] = v }
+func (w *ckptWorkload) AddrCells(a uint64) (uint64, uint64) { return a, a + 1 }
+
+func (w *ckptWorkload) Run(e, t, tid int, sig *signature.Signature) {
+	slots := len(w.state) / w.tasks
+	for j := 0; j < w.writes; j++ {
+		c := t + ((e*3+j*7)%slots)*w.tasks
+		if sig != nil {
+			sig.Write(uint64(c))
+		}
+		w.state[c] = w.state[c]*3 + int64(e+j+1)
+	}
+}
+
+// ckptSpecs builds the speccross/ckpt.{full,incremental} cells: the same
+// workload under the two checkpoint substitutions, everything else equal.
+func ckptSpecs(opts Options) []cellSpec {
+	modes := []struct {
+		name string
+		mode speccross.CheckpointMode
+	}{
+		{"ckpt.full", speccross.CkptFull},
+		{"ckpt.incremental", speccross.CkptIncremental},
+	}
+	var specs []cellSpec
+	for _, m := range modes {
+		m := m
+		specs = append(specs, cellSpec{
+			id: "speccross/" + m.name, engine: "speccross", workload: m.name,
+			prepare: func() func() {
+				w := &ckptWorkload{epochs: 64, tasks: 8, writes: 4, state: make([]int64, 1<<16)}
+				cfg := speccross.Config{
+					Workers: opts.Workers, SigKind: signature.Exact,
+					CheckpointEvery: 4, Checkpoint: m.mode,
+				}
+				return func() { speccross.Run(w, cfg) }
+			},
+		})
+	}
 	return specs
 }
 

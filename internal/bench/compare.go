@@ -37,6 +37,14 @@ type Delta struct {
 	P float64
 	// Significant means p < alpha AND |Rel| >= threshold.
 	Significant bool
+	// OldAllocs/NewAllocs are the cells' allocs/op columns (zero when the
+	// file predates the column).
+	OldAllocs, NewAllocs float64
+	// AllocRegression flags allocation growth past the gate (new >
+	// old×1.25 + 64; the additive slack keeps near-zero cells from
+	// flagging on a handful of allocations). Only set when the old file
+	// carries the column.
+	AllocRegression bool
 }
 
 // CompareResult is the full old-vs-new report.
@@ -49,6 +57,10 @@ type CompareResult struct {
 	EnvWarnings []string
 	// Regressions and Improvements count significant deltas by sign.
 	Regressions, Improvements int
+	// AllocRegressions counts cells whose allocs/op grew past the gate
+	// threshold. Gated like time regressions (allocation counts do not
+	// depend on machine speed, so they gate even across environments).
+	AllocRegressions int
 }
 
 // EnvMismatch reports whether the two runs came from different
@@ -57,9 +69,10 @@ type CompareResult struct {
 func (cr *CompareResult) EnvMismatch() bool { return len(cr.EnvWarnings) > 0 }
 
 // Failed reports whether the comparison should gate (nonzero exit):
-// significant regressions on matching environments.
+// significant regressions on matching environments, or allocation
+// regressions anywhere.
 func (cr *CompareResult) Failed() bool {
-	return cr.Regressions > 0 && !cr.EnvMismatch()
+	return (cr.Regressions > 0 && !cr.EnvMismatch()) || cr.AllocRegressions > 0
 }
 
 // Compare runs the Mann-Whitney U significance gate cell by cell over two
@@ -96,6 +109,11 @@ func Compare(old, cur *Result, opts CompareOptions) *CompareResult {
 			} else {
 				cr.Improvements++
 			}
+		}
+		d.OldAllocs, d.NewAllocs = oc.AllocsPerOp, nc.AllocsPerOp
+		if d.OldAllocs > 0 && d.NewAllocs > d.OldAllocs*1.25+64 {
+			d.AllocRegression = true
+			cr.AllocRegressions++
 		}
 		cr.Deltas = append(cr.Deltas, d)
 	}
@@ -141,6 +159,9 @@ func (cr *CompareResult) WriteTable(w io.Writer) error {
 				mark = "  improved"
 			}
 		}
+		if d.AllocRegression {
+			mark += fmt.Sprintf("  ALLOCS %.0f→%.0f", d.OldAllocs, d.NewAllocs)
+		}
 		if _, err := fmt.Fprintf(w, "%-28s %14s %14s %+8.1f%% %8.3f%s\n",
 			d.ID, fmtNs(d.OldMedian), fmtNs(d.NewMedian), 100*d.Rel, d.P, mark); err != nil {
 			return err
@@ -155,7 +176,8 @@ func (cr *CompareResult) WriteTable(w io.Writer) error {
 	for _, warn := range cr.EnvWarnings {
 		fmt.Fprintf(w, "env mismatch: %s\n", warn)
 	}
-	fmt.Fprintf(w, "significant: %d regression(s), %d improvement(s)\n", cr.Regressions, cr.Improvements)
+	fmt.Fprintf(w, "significant: %d regression(s), %d improvement(s), %d alloc regression(s)\n",
+		cr.Regressions, cr.Improvements, cr.AllocRegressions)
 	if cr.Regressions > 0 && cr.EnvMismatch() {
 		fmt.Fprintf(w, "note: environments differ; regressions reported but not gated\n")
 	}

@@ -92,6 +92,14 @@ type Cell struct {
 	CILow  float64 `json:"ci_low_ns"`
 	CIHigh float64 `json:"ci_high_ns"`
 
+	// AllocsPerOp is the median heap allocations per timed run (MemStats
+	// Mallocs delta around the sample, measured outside the timed region).
+	// Zero in files written before the column existed, so Compare only
+	// gates on it when both sides carry it. Allocation counts are
+	// near-deterministic, unlike wall time, which makes this the stable
+	// early-warning column for per-task allocation regressions.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
 	// Breakdown maps trace span classes (stall, barrier-wait, recovery, …)
 	// to their fraction of total lane time, derived from one extra traced
 	// run per cell. Empty for microbenchmarks and untraced runs.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"crossinv/internal/raceflag"
+	"crossinv/internal/runtime/speccross"
 )
 
 // seedCount scales the differential sweeps: the race detector slows every
@@ -110,7 +111,7 @@ func TestParseFaultsAndMutation(t *testing.T) {
 	if _, err := ParseFaults("bogus", 0); err == nil {
 		t.Fatal("bogus fault accepted")
 	}
-	if all := AllFaults(1); all.String() != "queue-full,delay,sig-conflict,panic,timeout,torn-state" {
+	if all := AllFaults(1); all.String() != "queue-full,delay,sig-conflict,panic,timeout,torn-state,torn-delta" {
 		t.Fatalf("AllFaults string: %q", all.String())
 	}
 	if (FaultPlan{}).Active() || !AllFaults(0).Active() {
@@ -169,6 +170,43 @@ func TestDifferentialAllFaults(t *testing.T) {
 	for seed := uint64(1); seed <= uint64(seedCount()); seed++ {
 		for _, f := range RunSeed(seed, Options{Faults: AllFaults(seed)}) {
 			t.Errorf("seed %d: %s", seed, f)
+		}
+	}
+}
+
+// TestDifferentialTornDelta runs the sweep with only the torn-delta fault
+// enabled: without TornState forcing full snapshots, the engines keep the
+// incremental-checkpoint path, so the scribbled cell is repaired by a
+// delta restore — and semantics must still hold.
+func TestDifferentialTornDelta(t *testing.T) {
+	for seed := uint64(1); seed <= uint64(seedCount()); seed++ {
+		for _, f := range RunSeed(seed, Options{Faults: FaultPlan{Seed: seed, TornDelta: true}}) {
+			t.Errorf("seed %d: %s", seed, f)
+		}
+	}
+}
+
+// TestTornDeltaExercisesDeltaRestore pins that the torn-delta fault really
+// drives the incremental rollback (rather than being silently absorbed by
+// a full snapshot): a speccross run over a delta-capable case with the
+// fault must record at least one delta restore and still match the oracle.
+func TestTornDeltaExercisesDeltaRestore(t *testing.T) {
+	spec := MutationCatcher()
+	want := spec.SequentialState()
+	k := spec.Kernel()
+	w := FaultPlan{TornDelta: true}.Wrap(k, k, spec.NumEpochs())
+	st := speccross.Run(w, speccross.Config{
+		Workers: 4, SigKind: spec.Kind(), CheckpointEvery: 3,
+	})
+	if st.DeltaRestores == 0 {
+		t.Fatalf("torn-delta run recorded no delta restores: %+v", st)
+	}
+	if st.Misspeculations == 0 {
+		t.Fatalf("torn-delta run recorded no misspeculation: %+v", st)
+	}
+	for i, v := range k.State {
+		if v != want[i] {
+			t.Fatalf("state[%d] = %d, oracle %d", i, v, want[i])
 		}
 	}
 }

@@ -273,9 +273,12 @@ func speccrossInvariants(st speccross.Stats, spec *Spec, rec *trace.Recorder) st
 		{"tasks", sum.Counts[trace.KindTaskEnd], st.Tasks},
 		{"committed epochs", sum.Sums[trace.KindEpochCommit], st.Epochs},
 		{"check requests", sum.Counts[trace.KindCheckRequest], st.CheckRequests},
+		{"prefilter checks", sum.Counts[trace.KindSigPrefilter], st.PrefilterChecks},
 		{"comparisons", sum.Counts[trace.KindSigCheck], st.Comparisons},
 		{"misspeculations", sum.Counts[trace.KindMisspec], st.Misspeculations},
 		{"checkpoints", sum.Counts[trace.KindCheckpoint], st.Checkpoints},
+		{"delta checkpoints", sum.Counts[trace.KindCkptDelta], st.DeltaCheckpoints},
+		{"delta restores", sum.Counts[trace.KindDeltaRestore], st.DeltaRestores},
 		{"re-executed epochs", sum.Sums[trace.KindRecoveryEnd], st.ReexecutedEpochs},
 		{"range stalls", sum.Counts[trace.KindRangeStallBegin], st.RangeStalls},
 	} {

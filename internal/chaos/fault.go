@@ -55,6 +55,15 @@ type FaultPlan struct {
 	// aliasing (a snapshot that shares memory with the live state would
 	// be torn by later speculative writes).
 	TornState bool
+	// TornDelta tears one tracked speculative write: the first speculative
+	// task records a victim cell in its signature (record-before-write, so
+	// the cell lands in the engine's write log), scribbles the cell, and
+	// panics. The incremental-checkpoint rollback must repair the cell
+	// from its base image — a delta restore that misses logged cells
+	// diverges from the oracle. Unlike TornState this fault is compatible
+	// with (and exists to exercise) the write-set delta path; on workloads
+	// forced onto full snapshots it is repaired by the full restore.
+	TornDelta bool
 }
 
 // AllFaults returns a plan with every fault kind enabled.
@@ -62,11 +71,13 @@ func AllFaults(seed uint64) FaultPlan {
 	return FaultPlan{
 		Seed: seed, QueueFull: true, DelayLanes: true,
 		SigConflict: true, Panic: true, Timeout: true, TornState: true,
+		TornDelta: true,
 	}
 }
 
 // ParseFaults parses "all", "none", or a comma-separated subset
-// (queue-full, delay, sig-conflict, panic, timeout, torn-state).
+// (queue-full, delay, sig-conflict, panic, timeout, torn-state,
+// torn-delta).
 func ParseFaults(s string, seed uint64) (FaultPlan, error) {
 	switch s {
 	case "", "none":
@@ -89,6 +100,8 @@ func ParseFaults(s string, seed uint64) (FaultPlan, error) {
 			p.Timeout = true
 		case "torn-state":
 			p.TornState = true
+		case "torn-delta":
+			p.TornDelta = true
 		default:
 			return p, fmt.Errorf("chaos: unknown fault %q", f)
 		}
@@ -98,7 +111,7 @@ func ParseFaults(s string, seed uint64) (FaultPlan, error) {
 
 // Active reports whether any fault is enabled.
 func (p FaultPlan) Active() bool {
-	return p.QueueFull || p.DelayLanes || p.SigConflict || p.Panic || p.Timeout || p.TornState
+	return p.QueueFull || p.DelayLanes || p.SigConflict || p.Panic || p.Timeout || p.TornState || p.TornDelta
 }
 
 // String lists the enabled faults.
@@ -115,6 +128,7 @@ func (p FaultPlan) String() string {
 	add(p.Panic, "panic")
 	add(p.Timeout, "timeout")
 	add(p.TornState, "torn-state")
+	add(p.TornDelta, "torn-delta")
 	if len(on) == 0 {
 		return "none"
 	}
@@ -181,15 +195,32 @@ type injector struct {
 	conflictA, conflictB  int // adjacent epochs carrying the sentinel write
 	panicEpoch, panicTask int
 	panicLeft             atomic.Int32
+	tornLeft              atomic.Int32 // TornDelta once-latch
 
 	errMsg atomic.Pointer[string]
 }
+
+// deltaInjector is an injector over a delta-capable inner workload: it
+// forwards the speccross.DeltaWorkload view, so the incremental-checkpoint
+// path stays engaged under fault injection (which is what TornDelta
+// exercises). TornState runs deliberately stay on the plain injector —
+// its whole-state Restore scribble is only repairable by a full-snapshot
+// restore, so hiding the delta view there preserves that coverage.
+type deltaInjector struct {
+	*injector
+	dw speccross.DeltaWorkload
+}
+
+func (d *deltaInjector) StateLen() int                       { return d.dw.StateLen() }
+func (d *deltaInjector) ReadCell(c uint64) int64             { return d.dw.ReadCell(c) }
+func (d *deltaInjector) WriteCell(c uint64, v int64)         { d.dw.WriteCell(c, v) }
+func (d *deltaInjector) AddrCells(a uint64) (uint64, uint64) { return d.dw.AddrCells(a) }
 
 // Wrap builds the fault-injecting workload view over inner, whose
 // underlying state lives in k. With an inactive plan it returns inner
 // unchanged.
 func (p FaultPlan) Wrap(inner adaptive.Workload, k *epochal.Kernel, nEpochs int) adaptive.Workload {
-	if !p.SigConflict && !p.Panic && !p.TornState {
+	if !p.SigConflict && !p.Panic && !p.TornState && !p.TornDelta {
 		return inner
 	}
 	inj := &injector{inner: inner, k: k, plan: p, conflictA: -1, conflictB: -1, panicEpoch: -1}
@@ -201,6 +232,12 @@ func (p FaultPlan) Wrap(inner adaptive.Workload, k *epochal.Kernel, nEpochs int)
 		inj.panicEpoch = 1 + int((p.Seed/7)%uint64(nEpochs-1))
 		inj.panicTask = 0
 		inj.panicLeft.Store(1)
+	}
+	if p.TornDelta && len(k.State) > 0 {
+		inj.tornLeft.Store(1)
+	}
+	if dw, ok := inner.(speccross.DeltaWorkload); ok && dw.StateLen() > 0 && !p.TornState {
+		return &deltaInjector{injector: inj, dw: dw}
 	}
 	return inj
 }
@@ -216,7 +253,10 @@ func (inj *injector) Err() string {
 
 // InjectorErr extracts the fault-layer error from a wrapped workload.
 func InjectorErr(w adaptive.Workload) string {
-	if inj, ok := w.(*injector); ok {
+	switch inj := w.(type) {
+	case *injector:
+		return inj.Err()
+	case *deltaInjector:
 		return inj.Err()
 	}
 	return ""
@@ -240,6 +280,18 @@ func (inj *injector) Run(epoch, task, tid int, sig *signature.Signature) {
 	if sig != nil {
 		if epoch == inj.conflictA || epoch == inj.conflictB {
 			sig.Write(sentinelAddr)
+		}
+		if inj.plan.TornDelta && inj.tornLeft.CompareAndSwap(1, 0) {
+			// Tear one tracked write: record the victim cell first (the
+			// record-before-write contract puts it in the engine's write
+			// log), scribble it directly in the underlying state —
+			// bypassing any mutated WriteCell view, the fault is in the
+			// speculative execution, not the repair path — then die. The
+			// rollback must restore the cell from its base image. Atomic
+			// like the kernel's own stores: other lanes run concurrently.
+			sig.Write(0)
+			atomic.AddInt64(&inj.k.State[0], 0x7e7e7e01)
+			panic("chaos: injected torn delta write")
 		}
 		if epoch == inj.panicEpoch && task == inj.panicTask && inj.panicLeft.CompareAndSwap(1, 0) {
 			panic("chaos: injected speculative fault")

@@ -31,6 +31,12 @@ const (
 	// MutSkipRestore turns Restore into a no-op, so misspeculation
 	// recovery re-executes on top of poisoned speculative state.
 	MutSkipRestore Mutation = "skip-restore"
+	// MutSkipDeltaRestore turns WriteCell into a no-op: the
+	// incremental-checkpoint rollback silently fails to repair the cells
+	// it believes it restored. Full-snapshot restores are untouched, so
+	// only the write-set delta path (and the harness's coverage of it)
+	// can catch this one.
+	MutSkipDeltaRestore Mutation = "skip-delta-restore"
 	// MutWidenStatic corrupts the static cross-invocation claim rather
 	// than the engines: the xdep-style classification of the case is
 	// forced to "none" (provably conflict-free) regardless of its declared
@@ -41,14 +47,14 @@ const (
 
 // Mutations lists the non-empty mutation kinds.
 func Mutations() []Mutation {
-	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore, MutWidenStatic}
+	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic}
 }
 
 // ParseMutation validates a -mutate flag value.
 func ParseMutation(s string) (Mutation, error) {
 	m := Mutation(s)
 	switch m {
-	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore, MutWidenStatic:
+	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic:
 		return m, nil
 	}
 	return MutNone, fmt.Errorf("chaos: unknown mutation %q", s)
@@ -57,11 +63,16 @@ func ParseMutation(s string) (Mutation, error) {
 // Faults is the fault plan that makes the mutation's broken path run:
 // skip-restore is only reachable through a misspeculation recovery, so it
 // pairs with a deterministic injected panic (plus the torn-state scribble
-// the skipped restore then fails to repair). The other mutations corrupt
-// paths every run exercises and need no help.
+// the skipped restore then fails to repair). skip-delta-restore likewise
+// pairs with the torn-delta fault, whose scribbled cell only a working
+// delta restore repairs. The other mutations corrupt paths every run
+// exercises and need no help.
 func (m Mutation) Faults() FaultPlan {
-	if m == MutSkipRestore {
+	switch m {
+	case MutSkipRestore:
 		return FaultPlan{Panic: true, TornState: true}
+	case MutSkipDeltaRestore:
+		return FaultPlan{TornDelta: true}
 	}
 	return FaultPlan{}
 }
@@ -123,6 +134,20 @@ func (w *mutated) Execute(inv, iter, t int) { w.k.Execute(inv, iter, t) }
 func (w *mutated) Epochs() int              { return w.k.Epochs() }
 func (w *mutated) Tasks(epoch int) int      { return w.k.Tasks(epoch) }
 func (w *mutated) Snapshot() any            { return w.k.Snapshot() }
+
+// The delta view forwards to the kernel, so the incremental-checkpoint
+// path stays engaged under mutation — skip-delta-restore breaks exactly
+// that path's repair writes.
+func (w *mutated) StateLen() int                       { return w.k.StateLen() }
+func (w *mutated) ReadCell(c uint64) int64             { return w.k.ReadCell(c) }
+func (w *mutated) AddrCells(a uint64) (uint64, uint64) { return w.k.AddrCells(a) }
+
+func (w *mutated) WriteCell(c uint64, v int64) {
+	if w.m == MutSkipDeltaRestore {
+		return
+	}
+	w.k.WriteCell(c, v)
+}
 
 func (w *mutated) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
 	out := w.k.ComputeAddr(inv, iter, buf)

@@ -141,6 +141,10 @@ func (s *Spec) Kernel() *epochal.Kernel {
 		NumEpochs: len(s.Epochs),
 		SeqCost:   1,
 	}
+	// Declared access addresses are state-cell indices, so the delta view
+	// is element-granular: the incremental-checkpoint path runs in chaos
+	// sweeps with exactly the spans the tasks really touch.
+	k.AddrSpan = epochal.IdentitySpan
 	k.TasksOf = func(e int) int { return len(s.Epochs[e].Tasks) }
 	k.Access = func(e, t int, reads, writes []uint64) ([]uint64, []uint64) {
 		ts := &s.Epochs[e].Tasks[t]

@@ -16,7 +16,6 @@ import (
 
 	"crossinv/internal/core"
 	"crossinv/internal/plancache"
-	"crossinv/internal/raceflag"
 )
 
 // corpus loads every LNL program the repo ships: the examples plus the
@@ -59,21 +58,12 @@ func newServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
+// allModes runs on every corpus program, including under -race: the §4.4
+// profiling pass is windowed to the checkpoint period and distance-pruned
+// (speccross.DefaultProfileWindow), so no corpus program's cold profile is
+// quadratic anymore — the old profileHeavy carve-out for stencil.lnl is
+// retired.
 var allModes = []string{"barrier", "domore", "speccross", "adaptive", "auto"}
-
-// profileHeavy marks corpus programs whose §4.4 profiling pass is
-// quadratic enough that the race detector's ~20× slowdown turns one cold
-// profile into ~40s. Under -race those programs only run profile-free
-// modes (the repo-wide shrinking rule, see internal/raceflag); plain test
-// runs still cover every mode on every program.
-var profileHeavy = map[string]bool{"stencil.lnl": true}
-
-func modesFor(name string) []string {
-	if raceflag.Enabled && profileHeavy[name] {
-		return []string{"barrier", "domore"}
-	}
-	return allModes
-}
 
 // TestModesMatchSequentialOverCorpus is the daemon-level equivalence
 // gate: every engine, on every corpus program, either matches the
@@ -87,7 +77,7 @@ func TestModesMatchSequentialOverCorpus(t *testing.T) {
 			if status != 200 {
 				t.Fatalf("seq: %d %s", status, seq.Error)
 			}
-			for _, mode := range modesFor(name) {
+			for _, mode := range allModes {
 				resp, status := s.Execute(&RunRequest{Source: src, Mode: mode, Workers: 4})
 				switch status {
 				case 200:
@@ -150,9 +140,6 @@ func TestWarmRestartSkipsOracleAndProfile(t *testing.T) {
 	cold := newServer(t, Config{CacheDir: dir})
 	want := map[string]uint64{}
 	for name, src := range progs {
-		if raceflag.Enabled && profileHeavy[name] {
-			continue
-		}
 		resp, status := cold.Execute(&RunRequest{Source: src, Mode: "speccross", Workers: 4})
 		if status == 200 {
 			want[name] = resp.Checksum

@@ -310,6 +310,28 @@ func (s *window) Run(epoch, task, tid int, sig *signature.Signature) {
 func (s *window) Snapshot() any    { return s.w.Snapshot() }
 func (s *window) Restore(snap any) { s.w.Restore(snap) }
 
+// The speccross.DeltaWorkload view forwards to the underlying workload so
+// SPECCROSS windows keep incremental checkpoints; StateLen 0 (the
+// delta-incapable marker) is reported when the workload has no delta view.
+func (s *window) StateLen() int {
+	if dw, ok := s.w.(speccross.DeltaWorkload); ok {
+		return dw.StateLen()
+	}
+	return 0
+}
+
+func (s *window) ReadCell(cell uint64) int64 {
+	return s.w.(speccross.DeltaWorkload).ReadCell(cell)
+}
+
+func (s *window) WriteCell(cell uint64, v int64) {
+	s.w.(speccross.DeltaWorkload).WriteCell(cell, v)
+}
+
+func (s *window) AddrCells(addr uint64) (lo, hi uint64) {
+	return s.w.(speccross.DeltaWorkload).AddrCells(addr)
+}
+
 // Irreversible forwards the §4.2.2 irreversible-epoch marker when the
 // underlying workload provides one.
 func (s *window) Irreversible(epoch int) bool {
@@ -336,4 +358,8 @@ func addSpec(dst *speccross.Stats, s speccross.Stats) {
 	dst.Checkpoints += s.Checkpoints
 	dst.ReexecutedEpochs += s.ReexecutedEpochs
 	dst.RangeStalls += s.RangeStalls
+	dst.PrefilterChecks += s.PrefilterChecks
+	dst.DeltaCheckpoints += s.DeltaCheckpoints
+	dst.DeltaCells += s.DeltaCells
+	dst.DeltaRestores += s.DeltaRestores
 }

@@ -16,7 +16,11 @@
 // overlap.
 package signature
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
 
 // Kind selects a summary scheme.
 type Kind int
@@ -58,6 +62,12 @@ type Set interface {
 	// Intersects reports whether the two summaries may share an address.
 	// The argument must be of the same dynamic type as the receiver.
 	Intersects(other Set) bool
+	// Union folds other's addresses into the receiver, so that the
+	// receiver intersects everything other intersected. The argument must
+	// be of the same dynamic type as the receiver. The checker uses
+	// unions as a conservative per-epoch pre-filter: no conflict with the
+	// union of a set of signatures implies no conflict with any of them.
+	Union(other Set)
 	// Empty reports whether no address has been recorded.
 	Empty() bool
 	// Reset returns the set to empty for reuse.
@@ -108,6 +118,27 @@ func (r *RangeSet) Intersects(other Set) bool {
 		return false
 	}
 	return r.min <= o.max && o.min <= r.max
+}
+
+// Union implements Set: the merged envelope covers both inputs.
+func (r *RangeSet) Union(other Set) {
+	o, ok := other.(*RangeSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
+	}
+	if !o.nonEmpty {
+		return
+	}
+	if !r.nonEmpty {
+		*r = *o
+		return
+	}
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
 }
 
 // Empty implements Set.
@@ -178,7 +209,8 @@ func (b *BloomSet) Add(addr uint64) {
 // A shared element sets the same k distinct bits (one per partition
 // segment) in both filters, so requiring at least k common bits in the
 // AND of the bit vectors is sound: it may false-positive on bits set by
-// different elements, but can never miss a true overlap.
+// different elements, but can never miss a true overlap. The loop is a
+// whole-word sweep: one AND plus one popcount instruction per 64 bits.
 func (b *BloomSet) Intersects(other Set) bool {
 	o, ok := other.(*BloomSet)
 	if !ok {
@@ -192,23 +224,29 @@ func (b *BloomSet) Intersects(other Set) bool {
 	}
 	common := 0
 	for i, w := range b.bits {
-		if x := w & o.bits[i]; x != 0 {
-			common += popcount(x)
-			if common >= bloomHashes {
-				return true
-			}
+		common += bits.OnesCount64(w & o.bits[i])
+		if common >= bloomHashes {
+			return true
 		}
 	}
 	return false
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+// Union implements Set: a whole-word OR of the bit vectors. The union of
+// two partitioned filters is the filter that would have resulted from
+// adding both address sets, so all soundness properties carry over.
+func (b *BloomSet) Union(other Set) {
+	o, ok := other.(*BloomSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
 	}
-	return n
+	if b.nbits != o.nbits {
+		panic("signature: mismatched bloom widths")
+	}
+	for i, w := range o.bits {
+		b.bits[i] |= w
+	}
+	b.n += o.n
 }
 
 // Empty implements Set.
@@ -216,9 +254,7 @@ func (b *BloomSet) Empty() bool { return b.n == 0 }
 
 // Reset implements Set.
 func (b *BloomSet) Reset() {
-	for i := range b.bits {
-		b.bits[i] = 0
-	}
+	clear(b.bits)
 	b.n = 0
 }
 
@@ -228,6 +264,13 @@ func (b *BloomSet) Reset() {
 type Signature struct {
 	Reads  Set
 	Writes Set
+	// WriteLog, when non-nil, additionally records every written address
+	// in call order. The SPECCROSS engine installs a log buffer here while
+	// running a task under incremental checkpointing, then harvests it as
+	// the task's contribution to the segment's dirty set; the checker
+	// never reads it. Everyone else leaves it nil and pays one pointer
+	// compare per Write.
+	WriteLog []uint64
 }
 
 // New returns an empty Signature using the given scheme for both sets.
@@ -235,20 +278,81 @@ func New(k Kind) *Signature {
 	return &Signature{Reads: NewSet(k), Writes: NewSet(k)}
 }
 
+// NewBatch returns n empty Signatures of the given kind backed by batch
+// allocations: one slice of set headers and (for Bloom) one contiguous bit
+// arena, instead of 3–5 small allocations per signature. The SPECCROSS
+// workers grab signatures in blocks from here, which is what moves the
+// per-task allocation count to O(1/blockSize).
+func NewBatch(k Kind, n int) []Signature {
+	sigs := make([]Signature, n)
+	switch k {
+	case Range:
+		sets := make([]RangeSet, 2*n)
+		for i := range sigs {
+			sigs[i].Reads, sigs[i].Writes = &sets[2*i], &sets[2*i+1]
+		}
+	case Bloom:
+		words := DefaultBloomBits / 64
+		sets := make([]BloomSet, 2*n)
+		arena := make([]uint64, 2*n*words)
+		for i := range sets {
+			sets[i].bits = arena[i*words : (i+1)*words : (i+1)*words]
+			sets[i].nbits = uint64(words * 64)
+		}
+		for i := range sigs {
+			sigs[i].Reads, sigs[i].Writes = &sets[2*i], &sets[2*i+1]
+		}
+	case Exact:
+		sets := make([]ExactSet, 2*n)
+		for i := range sigs {
+			sigs[i].Reads, sigs[i].Writes = &sets[2*i], &sets[2*i+1]
+		}
+	default:
+		panic(fmt.Sprintf("signature: unknown kind %d", int(k)))
+	}
+	return sigs
+}
+
 // Read records a load of addr.
 func (s *Signature) Read(addr uint64) { s.Reads.Add(addr) }
 
 // Write records a store to addr.
-func (s *Signature) Write(addr uint64) { s.Writes.Add(addr) }
+func (s *Signature) Write(addr uint64) {
+	s.Writes.Add(addr)
+	if s.WriteLog != nil {
+		s.WriteLog = append(s.WriteLog, addr)
+	}
+}
 
-// Reset empties both sets for reuse.
+// Reset empties both sets for reuse. WriteLog is detached, not truncated:
+// its backing array belongs to whoever installed it.
 func (s *Signature) Reset() {
 	s.Reads.Reset()
 	s.Writes.Reset()
+	s.WriteLog = nil
 }
 
 // Empty reports whether the task recorded no accesses at all.
 func (s *Signature) Empty() bool { return s.Reads.Empty() && s.Writes.Empty() }
+
+// Seal finalizes the signature for concurrent read-only use. Exact sets
+// sort lazily on first Intersects; sealing forces that sort while the
+// signature still has a single owner, so later comparisons from multiple
+// checker shards are pure reads. Range and Bloom sets need no sealing.
+func (s *Signature) Seal() {
+	if e, ok := s.Reads.(*ExactSet); ok {
+		e.seal()
+	}
+	if e, ok := s.Writes.(*ExactSet); ok {
+		e.seal()
+	}
+}
+
+// Union folds other into the receiver set-wise.
+func (s *Signature) Union(other *Signature) {
+	s.Reads.Union(other.Reads)
+	s.Writes.Union(other.Writes)
+}
 
 // Conflicts reports whether executing the receiver's task and other's task
 // on opposite sides of a (removed) barrier could have violated a dependence:
@@ -267,39 +371,105 @@ func (s *Signature) Conflicts(other *Signature) bool {
 }
 
 // ExactSet records the precise address set; Intersects is never a false
-// positive (nor a false negative).
+// positive (nor a false negative). The representation is an append-only
+// slice (duplicates allowed) sorted lazily on first Intersects, which
+// replaces a map insert per access with an append and a map iteration per
+// comparison with a linear merge scan.
+//
+// Lazy sorting mutates the set, so an ExactSet shared between goroutines
+// must be sealed (Signature.Seal) while it still has a single owner;
+// afterwards Intersects is read-only.
 type ExactSet struct {
-	addrs map[uint64]struct{}
+	addrs  []uint64
+	sorted bool
 }
 
 // NewExactSet returns an empty exact summary.
 func NewExactSet() *ExactSet {
-	return &ExactSet{addrs: make(map[uint64]struct{})}
+	return &ExactSet{sorted: true}
 }
 
 // Add implements Set.
-func (e *ExactSet) Add(addr uint64) { e.addrs[addr] = struct{}{} }
+func (e *ExactSet) Add(addr uint64) {
+	if e.sorted && len(e.addrs) > 0 && addr < e.addrs[len(e.addrs)-1] {
+		e.sorted = false
+	}
+	e.addrs = append(e.addrs, addr)
+}
 
-// Intersects implements Set.
+func (e *ExactSet) seal() {
+	if !e.sorted {
+		slices.Sort(e.addrs)
+		e.sorted = true
+	}
+}
+
+// Intersects implements Set: a merge scan over the two sorted slices.
 func (e *ExactSet) Intersects(other Set) bool {
 	o, ok := other.(*ExactSet)
 	if !ok {
 		panic("signature: mixed signature kinds")
 	}
-	small, large := e.addrs, o.addrs
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	for a := range small {
-		if _, hit := large[a]; hit {
+	e.seal()
+	o.seal()
+	a, b := e.addrs, o.addrs
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
 			return true
 		}
 	}
 	return false
 }
 
+// Union implements Set. When both sides are already sorted (the common
+// case in the checker, which seals signatures before logging and unions
+// them into an always-sorted accumulator) the result is built by a linear
+// merge and stays sorted, so no re-sort is ever needed on that path.
+func (e *ExactSet) Union(other Set) {
+	o, ok := other.(*ExactSet)
+	if !ok {
+		panic("signature: mixed signature kinds")
+	}
+	if len(o.addrs) == 0 {
+		return
+	}
+	if len(e.addrs) == 0 {
+		e.addrs = append(e.addrs[:0], o.addrs...)
+		e.sorted = o.sorted
+		return
+	}
+	if e.sorted && o.sorted {
+		merged := make([]uint64, 0, len(e.addrs)+len(o.addrs))
+		i, j := 0, 0
+		for i < len(e.addrs) && j < len(o.addrs) {
+			if e.addrs[i] <= o.addrs[j] {
+				merged = append(merged, e.addrs[i])
+				i++
+			} else {
+				merged = append(merged, o.addrs[j])
+				j++
+			}
+		}
+		merged = append(merged, e.addrs[i:]...)
+		merged = append(merged, o.addrs[j:]...)
+		e.addrs = merged
+		return
+	}
+	e.addrs = append(e.addrs, o.addrs...)
+	e.sorted = false
+}
+
 // Empty implements Set.
 func (e *ExactSet) Empty() bool { return len(e.addrs) == 0 }
 
 // Reset implements Set.
-func (e *ExactSet) Reset() { clear(e.addrs) }
+func (e *ExactSet) Reset() {
+	e.addrs = e.addrs[:0]
+	e.sorted = true
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"crossinv/internal/runtime/queue"
+	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/trace"
 )
 
@@ -29,32 +30,60 @@ import (
 //     whose own watermark for r's thread was at-or-before r's position —
 //     meaning r had not finished when s began, so they overlapped.
 //
-// Each shard logs the entry (write lock) *before* comparing (read lock), so
-// for any overlapping pair processed concurrently by different shards, the
-// later-logged side observes the earlier one: every cross-epoch overlapping
-// pair is checked at least once.
+// The log is sharded by worker row, each row guarded by its own lock, so
+// shards comparing against different workers' histories never contend.
+// Each shard logs the entry (write lock on its own row) *before* scanning
+// the other rows (read locks), which preserves the coverage argument
+// pairwise per row: for any overlapping pair (a, b) processed concurrently
+// by different shards, if a's scan of b's row missed b, then a's read of
+// that row completed before b was appended — so b's later scan of a's row,
+// which b performs only after appending itself, observes a. Every
+// cross-epoch overlapping pair is checked at least once.
+//
+// Two summaries amortize the scans:
+//
+//   - union[rel] is the running union signature of every entry logged for
+//     (worker, epoch): a conservative pre-filter. If the arriving
+//     signature does not conflict with the union, it conflicts with no
+//     entry, and the precise per-task scan is skipped.
+//   - minWM[rel] is the element-wise minimum watermark vector over the
+//     row-epoch's entries: the direction-2 overlap test "some logged task
+//     began before r finished" becomes one comparison instead of a scan.
 type checker struct {
 	workers int
 	start   int // first epoch of the segment
-
-	mu sync.RWMutex
-	// log[tid][e-start] holds the entries logged for worker tid in epoch e
-	// (the signature-log rows of Fig 4.8).
-	log [][][]taskEntry
-	// maxEpoch[tid] is the highest epoch index (relative) logged per worker.
-	maxEpoch []int
+	kind    signature.Kind
+	rows    []checkerRow
 }
 
-func newChecker(workers, start, end int) *checker {
+// checkerRow is the signature-log row of one worker (Fig 4.8), with its
+// per-epoch entries, union signatures, and watermark minima.
+type checkerRow struct {
+	mu sync.RWMutex
+	// log[e-start] holds the entries logged for this worker in epoch e.
+	log [][]taskEntry
+	// union[e-start] is the union of all logged signatures for the epoch.
+	union []*signature.Signature
+	// minWM[e-start][t] is the minimum watermark any logged entry of the
+	// epoch recorded for worker t, or nil when nothing is logged yet.
+	minWM [][]uint64
+	// maxEpoch is the highest epoch index (relative) logged.
+	maxEpoch int
+}
+
+func newChecker(workers int, kind signature.Kind, start, end int) *checker {
 	c := &checker{
-		workers:  workers,
-		start:    start,
-		log:      make([][][]taskEntry, workers),
-		maxEpoch: make([]int, workers),
+		workers: workers,
+		start:   start,
+		kind:    kind,
+		rows:    make([]checkerRow, workers),
 	}
-	for i := range c.log {
-		c.log[i] = make([][]taskEntry, end-start)
-		c.maxEpoch[i] = -1
+	for i := range c.rows {
+		r := &c.rows[i]
+		r.log = make([][]taskEntry, end-start)
+		r.union = make([]*signature.Signature, end-start)
+		r.minWM = make([][]uint64, end-start)
+		r.maxEpoch = -1
 	}
 	return c
 }
@@ -103,22 +132,41 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats, tt *trace.Th
 		return
 	}
 
-	// Log first (see the type comment for why ordering matters with
-	// sharded checkers).
-	c.mu.Lock()
-	c.log[e.tid][rel] = append(c.log[e.tid][rel], e)
-	if rel > c.maxEpoch[e.tid] {
-		c.maxEpoch[e.tid] = rel
-	}
-	c.mu.Unlock()
+	// Seal while this shard still solely owns the entry: exact sets sort
+	// lazily, and after logging, other shards may compare against the
+	// signature concurrently — those comparisons must be pure reads.
+	e.sig.Seal()
 
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	// Log first (see the type comment for why ordering matters with
+	// sharded checkers). The row's union stays sealed under the same lock,
+	// so readers always see a sorted accumulator.
+	row := &c.rows[e.tid]
+	row.mu.Lock()
+	row.log[rel] = append(row.log[rel], e)
+	if row.union[rel] == nil {
+		row.union[rel] = signature.New(c.kind)
+	}
+	row.union[rel].Union(e.sig)
+	row.union[rel].Seal()
+	if row.minWM[rel] == nil {
+		row.minWM[rel] = append([]uint64(nil), e.wm...)
+	} else {
+		mw := row.minWM[rel]
+		for i, w := range e.wm {
+			if w < mw[i] {
+				mw[i] = w
+			}
+		}
+	}
+	if rel > row.maxEpoch {
+		row.maxEpoch = rel
+	}
+	row.mu.Unlock()
 
 	windowNonEmpty := false
+	conflict := false
 
-	// Direction 1: e is the later-epoch side.
-	for o := 0; o < c.workers; o++ {
+	for o := 0; o < c.workers && !conflict; o++ {
 		if o == int(e.tid) {
 			continue
 		}
@@ -130,43 +178,73 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats, tt *trace.Th
 		if lo < 0 {
 			lo = 0
 		}
-		for re := lo; re < rel && re <= c.maxEpoch[o]; re++ {
-			for i := range c.log[o][re] {
-				s := &c.log[o][re][i]
+		orow := &c.rows[o]
+		orow.mu.RLock()
+
+		// Direction 1: e is the later-epoch side.
+		for re := lo; re < rel && re <= orow.maxEpoch; re++ {
+			u := orow.union[re]
+			if u == nil {
+				continue
+			}
+			atomic.AddInt64(&stats.PrefilterChecks, 1)
+			if !e.sig.Conflicts(u) {
+				tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 0)
+				continue
+			}
+			tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 1)
+			for i := range orow.log[re] {
+				s := &orow.log[re][i]
 				if s.pos < e.wm[o] {
 					continue // finished before e began: ordered, no overlap
 				}
 				atomic.AddInt64(&stats.Comparisons, 1)
 				tt.Emit(trace.KindSigCheck, int64(s.tid), int64(s.pos), 0)
 				if e.sig.Conflicts(s.sig) {
-					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
-					return
+					conflict = true
+					break
 				}
 			}
+			if conflict {
+				break
+			}
 		}
-	}
 
-	// Direction 2: e is the earlier-epoch side of already-logged tasks from
-	// later epochs that began before e finished.
-	for o := 0; o < c.workers; o++ {
-		if o == int(e.tid) {
-			continue
-		}
-		for re := rel + 1; re <= c.maxEpoch[o]; re++ {
-			for i := range c.log[o][re] {
-				s := &c.log[o][re][i]
+		// Direction 2: e is the earlier-epoch side of already-logged tasks
+		// from later epochs that began before e finished.
+		for re := rel + 1; re <= orow.maxEpoch && !conflict; re++ {
+			mw := orow.minWM[re]
+			if mw == nil || mw[e.tid] > e.pos {
+				continue // every logged task began after e finished: ordered
+			}
+			windowNonEmpty = true
+			u := orow.union[re]
+			atomic.AddInt64(&stats.PrefilterChecks, 1)
+			if !e.sig.Conflicts(u) {
+				tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 0)
+				continue
+			}
+			tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 1)
+			for i := range orow.log[re] {
+				s := &orow.log[re][i]
 				if s.wm[e.tid] > e.pos {
 					continue // s began after e finished: ordered
 				}
-				windowNonEmpty = true
 				atomic.AddInt64(&stats.Comparisons, 1)
 				tt.Emit(trace.KindSigCheck, int64(s.tid), int64(s.pos), 0)
 				if e.sig.Conflicts(s.sig) {
-					st.misspec.CompareAndSwap(misspecNone, misspecConflict)
-					return
+					conflict = true
+					break
 				}
 			}
 		}
+
+		orow.mu.RUnlock()
+	}
+
+	if conflict {
+		st.misspec.CompareAndSwap(misspecNone, misspecConflict)
+		return
 	}
 
 	if windowNonEmpty {

@@ -24,6 +24,13 @@ import (
 // frequency/re-execution trade-off Fig 5.3 studies). Epochs flagged
 // irreversible are likewise executed non-speculatively between two full
 // synchronizations.
+//
+// Checkpoints are full snapshots or — for DeltaWorkloads under the default
+// CkptAuto — incremental: the engine keeps one base image of the state and,
+// at each commit, refreshes only the cells the segment's tracked write set
+// touched; a rollback likewise rewrites only the dirty cells. This is the
+// checkpoint substitution of §4.2.2: checkpoint and recovery cost are
+// bounded by the write set, not the heap.
 func Run(w Workload, cfg Config) Stats {
 	var stats Stats
 	// Segment control (checkpoint, rollback, recovery sequencing) runs on
@@ -43,15 +50,122 @@ func run(w Workload, cfg Config) Stats {
 
 	irr, hasIrr := w.(Irreversibler)
 	epochs := w.Epochs()
-	snapshot := w.Snapshot()
+
+	dw, hasDelta := w.(DeltaWorkload)
+	hasDelta = hasDelta && dw.StateLen() > 0
+	useDelta := false
+	switch cfg.Checkpoint {
+	case CkptFull:
+	case CkptIncremental:
+		if !hasDelta {
+			panic("speccross: Config.Checkpoint is CkptIncremental but the workload does not implement DeltaWorkload (or declares StateLen 0)")
+		}
+		useDelta = true
+	default:
+		useDelta = hasDelta
+	}
+
+	// Checkpoint state. Full mode keeps the latest snapshot; incremental
+	// mode keeps a base image of every cell plus a generation-stamped
+	// visited array, so per-segment dirty-set dedup is O(dirty) with no
+	// O(heap) clearing between segments.
+	var snapshot any
+	var base, stamp []int64
+	var gen int64
+	rebuildBase := func() {
+		if base == nil {
+			base = make([]int64, dw.StateLen())
+		}
+		for i := range base {
+			base[i] = dw.ReadCell(uint64(i))
+		}
+	}
+	if useDelta {
+		rebuildBase()
+		stamp = make([]int64, len(base))
+	} else {
+		snapshot = w.Snapshot()
+	}
+
+	// checkpointFull re-captures the whole state: the full-snapshot mode,
+	// and the incremental mode's fallback after untracked (nil-signature)
+	// execution — barrier recovery and irreversible epochs.
+	checkpointFull := func(end int) {
+		if useDelta {
+			rebuildBase()
+		} else {
+			snapshot = w.Snapshot()
+		}
+		stats.Checkpoints++
+		ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
+	}
+	// checkpointDirty refreshes the base image for the committed segment's
+	// tracked write set only.
+	checkpointDirty := func(end int, dirty [][]uint64) {
+		if !useDelta {
+			checkpointFull(end)
+			return
+		}
+		gen++
+		cells := int64(0)
+		for _, dl := range dirty {
+			for _, a := range dl {
+				lo, hi := dw.AddrCells(a)
+				if hi > uint64(len(base)) {
+					hi = uint64(len(base)) // sentinel / out-of-range addresses
+				}
+				for c := lo; c < hi; c++ {
+					if stamp[c] == gen {
+						continue // already refreshed this segment
+					}
+					stamp[c] = gen
+					base[c] = dw.ReadCell(c)
+					cells++
+				}
+			}
+		}
+		stats.Checkpoints++
+		stats.DeltaCheckpoints++
+		stats.DeltaCells += cells
+		ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
+		ctl.Emit(trace.KindCkptDelta, cells, int64(end), 0)
+	}
+	// restore rolls the state back to the segment's checkpoint: a full
+	// Restore, or a rewrite of exactly the dirty cells.
+	restore := func(start int, dirty [][]uint64) {
+		if !useDelta {
+			w.Restore(snapshot)
+			ctl.Emit(trace.KindRestore, int64(start), 0, 0)
+			return
+		}
+		gen++
+		cells := int64(0)
+		for _, dl := range dirty {
+			for _, a := range dl {
+				lo, hi := dw.AddrCells(a)
+				if hi > uint64(len(base)) {
+					hi = uint64(len(base))
+				}
+				for c := lo; c < hi; c++ {
+					if stamp[c] == gen {
+						continue
+					}
+					stamp[c] = gen
+					dw.WriteCell(c, base[c])
+					cells++
+				}
+			}
+		}
+		stats.DeltaRestores++
+		ctl.Emit(trace.KindRestore, int64(start), 0, 0)
+		ctl.Emit(trace.KindDeltaRestore, cells, int64(start), 0)
+	}
 
 	for start := 0; start < epochs; {
 		// An irreversible epoch forms its own non-speculative segment.
 		if hasIrr && irr.Irreversible(start) {
 			runBarriers(w, cfg.Workers, start, start+1, cfg.Trace)
-			snapshot = w.Snapshot()
-			stats.Checkpoints++
-			ctl.Emit(trace.KindCheckpoint, int64(start+1), 0, 0)
+			checkpointFull(start + 1)
 			start++
 			continue
 		}
@@ -69,29 +183,25 @@ func run(w Workload, cfg Config) Stats {
 		}
 
 		ctl.Emit(trace.KindEpochBegin, int64(start), int64(end), 0)
-		if ok, reason := runSpeculative(w, &cfg, start, end, &stats); ok {
+		if ok, reason, dirty := runSpeculative(w, &cfg, start, end, &stats, useDelta); ok {
 			ctl.Emit(trace.KindEpochCommit, int64(end-start), int64(start), int64(end))
-			snapshot = w.Snapshot()
-			stats.Checkpoints++
-			ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
+			checkpointDirty(end, dirty)
 			stats.Epochs += int64(end - start)
 		} else {
 			stats.Misspeculations++
 			ctl.Emit(trace.KindMisspec, int64(reason), int64(start), int64(end))
 			ctl.Emit(trace.KindEpochAbort, int64(start), int64(end), 0)
-			w.Restore(snapshot)
-			ctl.Emit(trace.KindRestore, int64(start), 0, 0)
+			restore(start, dirty)
 			ctl.Emit(trace.KindRecoveryBegin, int64(start), int64(end), 0)
 			runBarriers(w, cfg.Workers, start, end, cfg.Trace)
 			stats.ReexecutedEpochs += int64(end - start)
 			ctl.Emit(trace.KindRecoveryEnd, int64(end-start), int64(start), int64(end))
-			snapshot = w.Snapshot()
-			stats.Checkpoints++
-			ctl.Emit(trace.KindCheckpoint, int64(end), 0, 0)
+			// Recovery ran untracked (nil signatures), so the incremental
+			// path re-captures the whole base image here.
+			checkpointFull(end)
 		}
 		start = end
 	}
-	_ = snapshot
 	return stats
 }
 
@@ -168,6 +278,12 @@ type specState struct {
 	prefix []int64
 	// misspec is set (with a reason) when the segment must be abandoned.
 	misspec atomic.Int32
+	// trackWrites enables per-worker dirty logs for incremental
+	// checkpointing; dirty[tid] is worker tid's accumulated write log,
+	// published before the worker exits (and read by the engine only
+	// after all workers joined).
+	trackWrites bool
+	dirty       [][]uint64
 }
 
 type paddedU64 struct {
@@ -189,15 +305,23 @@ const (
 	misspecTimeout
 )
 
+// sigBlock is how many per-task signatures a worker acquires per batch
+// allocation (signature.NewBatch); the watermark vectors are carved from a
+// matching arena, so per-task allocation cost is O(1/sigBlock).
+const sigBlock = 64
+
 // runSpeculative executes epochs [start, end) without barriers and reports
 // whether the segment committed cleanly; on misspeculation, reason is the
-// misspec* code that triggered the abort.
-func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok bool, reason int32) {
+// misspec* code that triggered the abort. With trackWrites set, dirty holds
+// each worker's write log for the segment (tracked addresses, in order,
+// possibly with duplicates).
+func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats, trackWrites bool) (ok bool, reason int32, dirty [][]uint64) {
 	nw := cfg.Workers
-	st := &specState{cfg: cfg, start: int32(start)}
+	st := &specState{cfg: cfg, start: int32(start), trackWrites: trackWrites}
 	st.pos = make([]paddedU64, nw)
 	st.done = make([]paddedI64, nw)
 	st.prefix = make([]int64, end-start+1)
+	st.dirty = make([][]uint64, nw)
 	for e := start; e < end; e++ {
 		st.prefix[e-start+1] = st.prefix[e-start] + int64(w.Tasks(e))
 	}
@@ -220,8 +344,9 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 	}
 
 	// Spawn the checker shard(s): each drains its queue subset against the
-	// shared log (CheckerShards = 1 is the paper's single checker thread).
-	chk := newChecker(nw, start, end)
+	// row-sharded log (CheckerShards = 1 is the paper's single checker
+	// thread).
+	chk := newChecker(nw, cfg.SigKind, start, end)
 	var checkers sync.WaitGroup
 	for sh := 0; sh < cfg.CheckerShards; sh++ {
 		var subset []*queue.SPSC[request]
@@ -251,7 +376,7 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 	checkers.Wait()
 
 	r := st.misspec.Load()
-	return r == misspecNone, r
+	return r == misspecNone, r, st.dirty
 }
 
 // specWorker executes this thread's share of every epoch in the segment,
@@ -259,14 +384,34 @@ func runSpeculative(w Workload, cfg *Config, start, end int, stats *Stats) (ok b
 // Fig 4.7).
 func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[request], stats *Stats, tt *trace.ThreadTrace) {
 	nw := st.cfg.Workers
+
+	// dlog accumulates this worker's tracked writes across the segment;
+	// curSig points at the in-flight task's signature so the panic path
+	// below can harvest writes recorded before the fault (the workload
+	// records each write before performing it, so a cell a faulting task
+	// managed to dirty is always in the log).
+	var dlog []uint64
+	var curSig *signature.Signature
+	if st.trackWrites {
+		dlog = make([]uint64, 0, 256)
+	}
+
 	defer func() {
 		if r := recover(); r != nil {
 			// A fault during speculative execution (the segfault trigger of
 			// §4.2.2): flag misspeculation and shut down this worker.
+			if st.trackWrites && curSig != nil && curSig.WriteLog != nil {
+				st.dirty[tid] = curSig.WriteLog
+			}
 			st.misspec.CompareAndSwap(misspecNone, misspecPanic)
 			produceReq(q, request{end: true}, tid, tt)
 		}
 	}()
+
+	// Per-task signatures and watermark vectors come from block arenas.
+	var sigs []signature.Signature
+	var wmArena []uint64
+	sigi := sigBlock
 
 	for e := start; e < end; e++ {
 		n := w.Tasks(e)
@@ -288,7 +433,14 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 			// Publish position, then read the other threads' positions:
 			// the watermark vector for this task (Fig 4.6).
 			st.pos[tid].v.Store(packET(int32(e), int32(t)))
-			wm := make([]uint64, nw)
+			if sigi == sigBlock {
+				sigs = signature.NewBatch(st.cfg.SigKind, sigBlock)
+				wmArena = make([]uint64, nw*sigBlock)
+				sigi = 0
+			}
+			sig := &sigs[sigi]
+			wm := wmArena[sigi*nw : (sigi+1)*nw : (sigi+1)*nw]
+			sigi++
 			for o := 0; o < nw; o++ {
 				if o != tid {
 					wm[o] = st.pos[o].v.Load()
@@ -296,8 +448,20 @@ func specWorker(w Workload, st *specState, tid, start, end int, q *queue.SPSC[re
 			}
 
 			tt.Emit(trace.KindTaskStart, int64(e), int64(t), global)
-			sig := signature.New(st.cfg.SigKind)
+			if st.trackWrites {
+				sig.WriteLog = dlog
+			}
+			curSig = sig
 			w.Run(e, t, tid, sig)
+			curSig = nil
+			if st.trackWrites {
+				dlog = sig.WriteLog
+				sig.WriteLog = nil
+				st.dirty[tid] = dlog
+			}
+			// Seal before publishing: checker shards compare against the
+			// logged signature concurrently, which must be read-only.
+			sig.Seal()
 			st.done[tid].v.Store(global)
 			atomic.AddInt64(&stats.Tasks, 1)
 			tt.Emit(trace.KindTaskEnd, int64(e), int64(t), global)

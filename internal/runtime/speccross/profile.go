@@ -14,7 +14,11 @@ type ProfileResult struct {
 	// Tasks and Epochs describe the profiled region.
 	Tasks  int64
 	Epochs int64
-	// Conflicts counts cross-epoch signature conflicts observed.
+	// Conflicts counts cross-epoch signature conflicts observed. Epoch
+	// scans that provably cannot lower MinDistance (or the per-loop
+	// minimum) are pruned, so far-apart conflicts beyond the current
+	// minima may go uncounted; Conflicts is a lower bound on the true
+	// pair count, while the distance minima are exact within the window.
 	Conflicts int64
 	// MinDistance is the minimum number of tasks between any two
 	// conflicting tasks (global task numbering), or NoConflict if no
@@ -29,6 +33,14 @@ type ProfileResult struct {
 // NoConflict is the MinDistance value when profiling observed no
 // cross-epoch conflicts (the "*" entries of Table 5.3).
 const NoConflict int64 = math.MaxInt64
+
+// DefaultProfileWindow is the comparison window generated code and the
+// daemon profile with: the default Config.CheckpointEvery. The engine never
+// overlaps epochs across a checkpoint boundary, so distances at or beyond
+// the checkpoint period can never cause a misspeculation and a window of
+// that period loses nothing — while keeping the profiling pass linear in
+// epochs instead of quadratic.
+const DefaultProfileWindow = 1000
 
 // Recommended returns the speculative-range bound to use at runtime:
 // the observed minimum distance, or 0 (unbounded) when no conflict was
@@ -106,6 +118,21 @@ func Profile(w Workload, kind signature.Kind, window int) ProfileResult {
 			global++
 			if !sig.Empty() {
 				for pe := lo; pe < e; pe++ {
+					prior := perEpoch[pe]
+					if len(prior) == 0 {
+						continue
+					}
+					// Distance pruning: the closest possible conflict with
+					// epoch pe is against its last task. If even that
+					// distance cannot lower the global minimum or this
+					// loop's per-loop minimum, the whole epoch scan is
+					// unproductive. (Absent per-loop entries mean the label
+					// still has everything to learn, so no pruning then.)
+					if closest := mine.global - prior[len(prior)-1].global; closest >= res.MinDistance {
+						if pl, ok := res.PerLoop[label]; ok && closest >= pl {
+							continue
+						}
+					}
 					for i := range perEpoch[pe] {
 						prev := &perEpoch[pe][i]
 						if prev.sig != nil && sig.Conflicts(prev.sig) {

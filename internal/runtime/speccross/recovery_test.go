@@ -49,6 +49,14 @@ func (w *recoveryWorkload) Snapshot() any {
 }
 func (w *recoveryWorkload) Restore(s any) { copy(w.state, s.([]int64)) }
 
+// The delta view: element-granular addresses (the sentinel lies outside
+// [0, StateLen) and is ignored by the checkpointer, exercising the
+// out-of-range skip).
+func (w *recoveryWorkload) StateLen() int                       { return len(w.state) }
+func (w *recoveryWorkload) ReadCell(cell uint64) int64          { return w.state[cell] }
+func (w *recoveryWorkload) WriteCell(cell uint64, v int64)      { w.state[cell] = v }
+func (w *recoveryWorkload) AddrCells(a uint64) (uint64, uint64) { return a, a + 1 }
+
 func (w *recoveryWorkload) Run(e, t, tid int, sig *signature.Signature) {
 	if sig != nil {
 		if pair := w.pairOf[e]; pair >= 0 && t == 0 {
@@ -65,6 +73,8 @@ func (w *recoveryWorkload) Run(e, t, tid int, sig *signature.Signature) {
 			sig.Write(recoverySentinel)
 			w.flags[w.pairOf[e-1]].Store(true)
 		}
+		// Record-before-write for the owned cell (DeltaWorkload contract).
+		sig.Write(uint64(e*2 + t))
 	}
 	// Each task owns one cell, so tasks never race and the final state
 	// must match the sequential replay exactly.
@@ -89,47 +99,73 @@ func sequentialRecoveryState() []int64 {
 // result. Any drift in these counts means the recovery path changed
 // behaviour, not just performance.
 func TestRecoveryDeterministicConflicts(t *testing.T) {
-	w := newRecoveryWorkload()
-	rec := trace.NewRecorder()
-	stats := Run(w, Config{
-		Workers:         2,
-		SigKind:         signature.Exact,
-		CheckpointEvery: 2,
-		Trace:           rec,
-	})
+	// The exact same recovery accounting must hold under both checkpoint
+	// substitutions: full snapshots and incremental (write-set) deltas.
+	for _, mode := range []struct {
+		name string
+		ckpt CheckpointMode
+	}{{"full", CkptFull}, {"incremental", CkptIncremental}} {
+		t.Run(mode.name, func(t *testing.T) {
+			w := newRecoveryWorkload()
+			rec := trace.NewRecorder()
+			stats := Run(w, Config{
+				Workers:         2,
+				SigKind:         signature.Exact,
+				CheckpointEvery: 2,
+				Checkpoint:      mode.ckpt,
+				Trace:           rec,
+			})
 
-	if stats.Misspeculations != 2 {
-		t.Errorf("Misspeculations = %d, want exactly 2 (one per poisoned segment)", stats.Misspeculations)
-	}
-	if stats.ReexecutedEpochs != 4 {
-		t.Errorf("ReexecutedEpochs = %d, want exactly 4 (segments [2,4) and [4,6))", stats.ReexecutedEpochs)
-	}
-	if stats.Epochs != 2 {
-		t.Errorf("speculatively committed Epochs = %d, want exactly 2 (segment [0,2))", stats.Epochs)
-	}
-	if stats.Checkpoints != 3 {
-		t.Errorf("Checkpoints = %d, want exactly 3 (one per segment end)", stats.Checkpoints)
-	}
+			if stats.Misspeculations != 2 {
+				t.Errorf("Misspeculations = %d, want exactly 2 (one per poisoned segment)", stats.Misspeculations)
+			}
+			if stats.ReexecutedEpochs != 4 {
+				t.Errorf("ReexecutedEpochs = %d, want exactly 4 (segments [2,4) and [4,6))", stats.ReexecutedEpochs)
+			}
+			if stats.Epochs != 2 {
+				t.Errorf("speculatively committed Epochs = %d, want exactly 2 (segment [0,2))", stats.Epochs)
+			}
+			if stats.Checkpoints != 3 {
+				t.Errorf("Checkpoints = %d, want exactly 3 (one per segment end)", stats.Checkpoints)
+			}
+			switch mode.ckpt {
+			case CkptFull:
+				if stats.DeltaRestores != 0 || stats.DeltaCheckpoints != 0 {
+					t.Errorf("full mode took delta checkpoints: %+v", stats)
+				}
+			case CkptIncremental:
+				if stats.DeltaRestores != 2 {
+					t.Errorf("DeltaRestores = %d, want 2 (one per abort)", stats.DeltaRestores)
+				}
+				if stats.DeltaCheckpoints != 1 {
+					t.Errorf("DeltaCheckpoints = %d, want 1 (only segment [0,2) commits)", stats.DeltaCheckpoints)
+				}
+			}
 
-	sum := rec.Summary()
-	if got := sum.Counts[trace.KindMisspec]; got != 2 {
-		t.Errorf("trace misspec events = %d, want 2", got)
-	}
-	if got := sum.Counts[trace.KindRecoveryBegin]; got != 2 {
-		t.Errorf("trace recovery spans = %d, want 2", got)
-	}
-	if got := sum.Sums[trace.KindRecoveryEnd]; got != stats.ReexecutedEpochs {
-		t.Errorf("trace re-executed epochs = %d, engine Stats = %d", got, stats.ReexecutedEpochs)
-	}
-	if got := sum.Counts[trace.KindRestore]; got != 2 {
-		t.Errorf("trace restore events = %d, want 2", got)
-	}
+			sum := rec.Summary()
+			if got := sum.Counts[trace.KindMisspec]; got != 2 {
+				t.Errorf("trace misspec events = %d, want 2", got)
+			}
+			if got := sum.Counts[trace.KindRecoveryBegin]; got != 2 {
+				t.Errorf("trace recovery spans = %d, want 2", got)
+			}
+			if got := sum.Sums[trace.KindRecoveryEnd]; got != stats.ReexecutedEpochs {
+				t.Errorf("trace re-executed epochs = %d, engine Stats = %d", got, stats.ReexecutedEpochs)
+			}
+			if got := sum.Counts[trace.KindRestore]; got != 2 {
+				t.Errorf("trace restore events = %d, want 2", got)
+			}
+			if got := sum.Counts[trace.KindDeltaRestore]; got != stats.DeltaRestores {
+				t.Errorf("trace delta-restore events = %d, engine Stats = %d", got, stats.DeltaRestores)
+			}
 
-	want := sequentialRecoveryState()
-	for i := range want {
-		if w.state[i] != want[i] {
-			t.Errorf("state[%d] = %d after recovery, sequential = %d", i, w.state[i], want[i])
-		}
+			want := sequentialRecoveryState()
+			for i := range want {
+				if w.state[i] != want[i] {
+					t.Errorf("state[%d] = %d after recovery, sequential = %d", i, w.state[i], want[i])
+				}
+			}
+		})
 	}
 }
 

@@ -40,6 +40,56 @@ type Workload interface {
 	Restore(snapshot any)
 }
 
+// DeltaWorkload is optionally implemented by workloads whose speculative
+// state is an addressable array of int64 cells (the signature address of a
+// cell is its index). It enables incremental copy-on-write checkpoints
+// (§4.2.2's checkpoint substitution): instead of a full Snapshot per
+// segment, the engine keeps one base image and refreshes or restores only
+// the cells the segment's tracked write set touched, so checkpoint and
+// recovery cost scale with dirty state rather than heap size.
+//
+// Contract: during speculative execution every state mutation must be
+// recorded with Signature.Write *before* the store is performed
+// (record-before-write). Signature addresses need not be element-granular:
+// AddrCells maps each one to the state cell span it covers, and every cell
+// a task actually stores to must lie inside the span of some address the
+// task recorded. Addresses whose span falls outside [0, StateLen) —
+// sentinel conflict addresses, for example — are ignored by the
+// checkpointer. Run calls with a nil signature (barrier recovery,
+// irreversible epochs) are untracked; the engine rebuilds the full base
+// image after them. A StateLen of 0 declares the workload delta-incapable
+// (no sound address→cell mapping is available) and keeps CkptAuto on full
+// snapshots.
+type DeltaWorkload interface {
+	Workload
+	// StateLen reports the number of state cells (0 disables incremental
+	// checkpointing).
+	StateLen() int
+	// ReadCell returns the current value of one cell.
+	ReadCell(cell uint64) int64
+	// WriteCell overwrites one cell; the engine uses it to roll dirty
+	// cells back to their checkpoint values.
+	WriteCell(cell uint64, v int64)
+	// AddrCells resolves a signature address to the state cell span
+	// [lo, hi) it covers — the identity mapping (addr, addr+1) when
+	// signature addresses are element indices.
+	AddrCells(addr uint64) (lo, hi uint64)
+}
+
+// CheckpointMode selects how segment checkpoints are taken.
+type CheckpointMode int
+
+const (
+	// CkptAuto (the default) uses incremental checkpoints when the
+	// workload implements DeltaWorkload and full snapshots otherwise.
+	CkptAuto CheckpointMode = iota
+	// CkptFull forces full Snapshot/Restore checkpoints.
+	CkptFull
+	// CkptIncremental requires incremental checkpoints; Run panics if the
+	// workload does not implement DeltaWorkload.
+	CkptIncremental
+)
+
 // Irreversibler is optionally implemented by workloads with epochs that
 // perform irreversible operations (I/O); such epochs are executed
 // non-speculatively between two full synchronizations (§4.2.2).
@@ -75,14 +125,20 @@ type Config struct {
 	// CheckpointEvery is the number of epochs between checkpoints
 	// (default 1000, §4.2.2).
 	CheckpointEvery int
+	// Checkpoint selects full-snapshot or incremental checkpoints
+	// (default CkptAuto: incremental whenever the workload implements
+	// DeltaWorkload).
+	Checkpoint CheckpointMode
 	// QueueCap is the per-worker request-queue capacity (default 1024).
 	QueueCap int
-	// CheckerShards is the number of checker threads (default 1, the
-	// paper's design; §5.2 identifies the single checker as the scaling
-	// bottleneck and names parallelizing it as future work). Each shard
-	// drains a subset of the worker queues against a shared, lock-guarded
-	// signature log; every shard logs its entry before comparing, so for
-	// any overlapping pair at least the later-logged side observes the
+	// CheckerShards is the number of checker threads (default 2, clamped
+	// to Workers — the parallelized checker §5.2 names as future work
+	// after identifying the single checker thread as the scaling
+	// bottleneck; set 1 to reproduce the paper's single-checker design).
+	// Each shard drains a subset of the worker queues against a shared
+	// signature log sharded by worker row, each row guarded by its own
+	// lock; every shard logs its entry before comparing, so for any
+	// overlapping pair at least the later-logged side observes the
 	// earlier one.
 	CheckerShards int
 	// SpecTimeout, when positive, bounds the wall-clock duration of one
@@ -116,7 +172,7 @@ func (c *Config) fill() {
 		c.QueueCap = 1024
 	}
 	if c.CheckerShards <= 0 {
-		c.CheckerShards = 1
+		c.CheckerShards = 2
 	}
 	if c.CheckerShards > c.Workers {
 		c.CheckerShards = c.Workers
@@ -131,9 +187,10 @@ func (c *Config) fill() {
 //
 // Concurrency contract (audited, enforced by the stats_race_test regression
 // under -race): Tasks and RangeStalls are incremented with atomic.AddInt64
-// by concurrent workers; CheckRequests and Comparisons with atomic.AddInt64
-// by the checker thread; Epochs, Misspeculations, Checkpoints, and
-// ReexecutedEpochs with plain increments by the engine goroutine alone, at
+// by concurrent workers; CheckRequests, Comparisons, and PrefilterChecks
+// with atomic.AddInt64 by the checker shards; Epochs, Misspeculations,
+// Checkpoints, ReexecutedEpochs, DeltaCheckpoints, DeltaCells, and
+// DeltaRestores with plain increments by the engine goroutine alone, at
 // segment boundaries where workers and checker are quiescent. The returned
 // Stats is read only after every thread has joined, so callers may read it
 // without synchronization.
@@ -158,6 +215,20 @@ type Stats struct {
 	ReexecutedEpochs int64
 	// RangeStalls counts tasks that stalled on the speculative-range bound.
 	RangeStalls int64
+	// PrefilterChecks counts checker union pre-filter tests: one per
+	// candidate (worker, epoch) log row an arriving signature was screened
+	// against. Rows whose running union does not conflict skip the precise
+	// per-task scan, so Comparisons only counts survivors.
+	PrefilterChecks int64
+	// DeltaCheckpoints counts checkpoints taken incrementally (a subset of
+	// Checkpoints); DeltaCells is the total number of state cells those
+	// checkpoints refreshed in the base image.
+	DeltaCheckpoints int64
+	DeltaCells       int64
+	// DeltaRestores counts incremental rollbacks: misspeculation recoveries
+	// that rewrote only the segment's dirty cells instead of restoring a
+	// full snapshot.
+	DeltaRestores int64
 }
 
 // packET packs an (epoch, task) pair so positions can be compared with a

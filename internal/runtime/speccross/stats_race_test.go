@@ -1,16 +1,21 @@
 package speccross
 
-import "testing"
+import (
+	"testing"
+
+	"crossinv/internal/runtime/signature"
+)
 
 // TestStatsCountersRace is the regression for the Stats concurrency
 // contract (see the Stats doc comment): worker threads bump Tasks and
-// RangeStalls atomically while the checker bumps CheckRequests and
-// Comparisons, concurrently with the engine's plain segment-boundary
-// counters. The workload's epochs are fully disjoint so the execution is
-// data-race-free by construction, and an injected misspeculation drives the
-// rollback/re-execution counters (also engine-side plain writes) without
-// introducing a real conflict. `go test -race` flags any counter written
-// through both disciplines; a plain run still pins the totals.
+// RangeStalls atomically while the checker shards bump PrefilterChecks,
+// CheckRequests, and Comparisons, concurrently with the engine's plain
+// segment-boundary counters. The workload's epochs are fully disjoint so the
+// execution is data-race-free by construction, and an injected
+// misspeculation drives the rollback/re-execution counters (also engine-side
+// plain writes) without introducing a real conflict. `go test -race` flags
+// any counter written through both disciplines; a plain run still pins the
+// totals.
 func TestStatsCountersRace(t *testing.T) {
 	g := newGrid(60, 8, 4, 8*4) // shift = tasks*blockSize: disjoint epochs
 	want := g.sequential()
@@ -40,7 +45,60 @@ func TestStatsCountersRace(t *testing.T) {
 	if stats.Checkpoints == 0 {
 		t.Fatal("no checkpoints recorded")
 	}
-	if stats.CheckRequests == 0 || stats.Comparisons == 0 {
+	// The grid's epochs occupy disjoint address ranges, so the union
+	// pre-filter screens out every candidate row before the precise scan:
+	// PrefilterChecks must run, Comparisons legitimately may not.
+	if stats.CheckRequests == 0 || stats.PrefilterChecks == 0 {
 		t.Fatal("checker counters untouched; the atomic checker path did not run")
+	}
+}
+
+// transposedWorkload writes cell task*epochs + epoch per task: every cell is
+// distinct (no real dependences), but a worker's per-epoch write envelope
+// spans almost the whole array, so Range union pre-filters alias across
+// epochs and the checker must fall through to the precise per-task scan —
+// which then exonerates every pair. This pins the Comparisons atomic path
+// (and its -race discipline) now that the pre-filter hides it from
+// disjoint-envelope workloads.
+type transposedWorkload struct {
+	epochs, tasks int
+	data          []int64
+}
+
+func (w *transposedWorkload) Epochs() int   { return w.epochs }
+func (w *transposedWorkload) Tasks(int) int { return w.tasks }
+func (w *transposedWorkload) Snapshot() any { return append([]int64(nil), w.data...) }
+func (w *transposedWorkload) Restore(s any) { copy(w.data, s.([]int64)) }
+func (w *transposedWorkload) cell(e, t int) int {
+	return t*w.epochs + e
+}
+
+func (w *transposedWorkload) Run(epoch, task, tid int, sig *signature.Signature) {
+	a := w.cell(epoch, task)
+	if sig != nil {
+		sig.Write(uint64(a))
+	}
+	w.data[a] = int64(epoch*w.tasks + task + 1)
+}
+
+func TestPrefilterAliasFallsThroughToPreciseScan(t *testing.T) {
+	w := &transposedWorkload{epochs: 40, tasks: 8}
+	w.data = make([]int64, w.tasks*w.epochs)
+	stats := Run(w, Config{Workers: 4, CheckpointEvery: 10})
+	for e := 0; e < w.epochs; e++ {
+		for task := 0; task < w.tasks; task++ {
+			if got, want := w.data[w.cell(e, task)], int64(e*w.tasks+task+1); got != want {
+				t.Fatalf("cell(%d,%d) = %d, want %d", e, task, got, want)
+			}
+		}
+	}
+	if stats.Misspeculations != 0 {
+		t.Fatalf("Misspeculations = %d, want 0 (all cells distinct)", stats.Misspeculations)
+	}
+	if stats.Comparisons == 0 {
+		t.Fatal("Comparisons = 0; the transposed layout should alias the union pre-filter and force precise scans")
+	}
+	if stats.PrefilterChecks == 0 {
+		t.Fatal("PrefilterChecks = 0; every precise scan is gated by a pre-filter test")
 	}
 }

@@ -121,6 +121,21 @@ const (
 	// KindEngineSwitch marks an adaptive engine change at a window
 	// boundary. A=from engine, B=to engine, C=boundary epoch.
 	KindEngineSwitch
+	// KindSigPrefilter marks one checker union pre-filter test: the
+	// arriving signature against the running union of a (worker, epoch)
+	// log row. A=logged row's lane, B=relative epoch, C=1 if the row
+	// passed the filter (a precise per-task scan followed), else 0.
+	KindSigPrefilter
+	// KindCkptDelta marks an incremental checkpoint: the base image was
+	// refreshed for the segment's dirty cells only. A=#cells refreshed,
+	// B=epoch after which state is safe. Always paired with the
+	// KindCheckpoint event of the same commit.
+	KindCkptDelta
+	// KindDeltaRestore marks an incremental rollback: the segment's dirty
+	// cells were rewritten from the base image. A=#cells restored,
+	// B=start epoch. Always paired with the KindRestore event of the
+	// same abort.
+	KindDeltaRestore
 
 	// KindCount is the number of event kinds (not itself a kind).
 	KindCount
@@ -158,6 +173,9 @@ var kindNames = [KindCount]string{
 	KindRecoveryEnd:      "recovery.end",
 	KindWindowBegin:      "window.begin",
 	KindEngineSwitch:     "engine.switch",
+	KindSigPrefilter:     "sig.prefilter",
+	KindCkptDelta:        "checkpoint.delta",
+	KindDeltaRestore:     "restore.delta",
 }
 
 func (k Kind) String() string {

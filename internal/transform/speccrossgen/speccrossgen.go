@@ -246,9 +246,12 @@ func (r *Region) RunBarriers(workers int) {
 	speccross.RunBarriers(r, workers)
 }
 
-// Profile runs the §4.4 profiling pass over the region.
+// Profile runs the §4.4 profiling pass over the region, comparing within
+// the default checkpoint period (speccross.DefaultProfileWindow): the
+// engine never overlaps epochs across a checkpoint, so the windowed pass is
+// exact for default configurations while staying linear in epochs.
 func (r *Region) Profile(kind signature.Kind) speccross.ProfileResult {
-	return speccross.Profile(r, kind, 0)
+	return speccross.Profile(r, kind, speccross.DefaultProfileWindow)
 }
 
 // Trace exports the region's virtual-time structure by replaying every task

@@ -54,6 +54,9 @@ func New(scale int) *epochal.Kernel {
 		}
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 3300 }
+	// Chunk-granular addresses: price chunk t and parameter block Chunks+t
+	// both cover perChunk consecutive cells at addr*perChunk.
+	k.AddrSpan = epochal.BlockSpan(perChunk)
 	return k
 }
 

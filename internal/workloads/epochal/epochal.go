@@ -37,6 +37,25 @@ type Kernel struct {
 	TaskCost func(epoch, task int) int64
 	// SeqCost is the serial work preceding each epoch (for Trace).
 	SeqCost int64
+	// AddrSpan, when set, maps a signature address from Access to the State
+	// cell range [lo, hi) it covers, enabling incremental checkpoints
+	// (speccross.DeltaWorkload): the engine refreshes and rolls back only
+	// the cells the tracked write set spans instead of copying the whole
+	// state. Use IdentitySpan for element-granular kernels whose addresses
+	// are State indices. Nil declares no sound mapping (block- or
+	// object-granular addresses with no fixed span), keeping the kernel on
+	// full snapshots.
+	AddrSpan func(addr uint64) (lo, hi uint64)
+}
+
+// IdentitySpan is the AddrSpan of element-granular kernels: signature
+// address a covers exactly State cell a.
+func IdentitySpan(addr uint64) (lo, hi uint64) { return addr, addr + 1 }
+
+// BlockSpan builds the AddrSpan of uniformly block-granular kernels:
+// signature address a covers State cells [a·size, (a+1)·size).
+func BlockSpan(size uint64) func(addr uint64) (lo, hi uint64) {
+	return func(addr uint64) (lo, hi uint64) { return addr * size, (addr + 1) * size }
 }
 
 // Name implements workloads.Instance.
@@ -107,6 +126,24 @@ func (k *Kernel) Snapshot() any {
 
 // Restore implements speccross.Workload.
 func (k *Kernel) Restore(s any) { copy(k.State, s.([]int64)) }
+
+// StateLen implements speccross.DeltaWorkload; 0 (no AddrSpan declared)
+// keeps the kernel on full snapshots.
+func (k *Kernel) StateLen() int {
+	if k.AddrSpan == nil {
+		return 0
+	}
+	return len(k.State)
+}
+
+// ReadCell implements speccross.DeltaWorkload.
+func (k *Kernel) ReadCell(cell uint64) int64 { return k.State[cell] }
+
+// WriteCell implements speccross.DeltaWorkload.
+func (k *Kernel) WriteCell(cell uint64, v int64) { k.State[cell] = v }
+
+// AddrCells implements speccross.DeltaWorkload.
+func (k *Kernel) AddrCells(addr uint64) (lo, hi uint64) { return k.AddrSpan(addr) }
 
 // --- domore.Workload ---
 

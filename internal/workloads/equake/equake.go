@@ -118,6 +118,8 @@ func New(scale int) *epochal.Kernel {
 		}
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 3200 }
+	// Chunk-granular addresses: field*Chunks+c covers that chunk's nodes.
+	k.AddrSpan = epochal.BlockSpan(nodesPerChunk)
 	return k
 }
 

@@ -90,6 +90,8 @@ func New(scale int) *epochal.Kernel {
 		}
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 2400 }
+	// Row-granular addresses: field*n+row covers the n cells of that row.
+	k.AddrSpan = epochal.BlockSpan(n)
 	return k
 }
 

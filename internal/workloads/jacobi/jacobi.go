@@ -53,6 +53,8 @@ func New(scale int) *epochal.Kernel {
 		}
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 2600 }
+	// Row-granular addresses: grid*n+row covers the n cells of that row.
+	k.AddrSpan = epochal.BlockSpan(n)
 	return k
 }
 

@@ -46,6 +46,8 @@ func New(scale int) *epochal.Kernel {
 		k.State[dst] = k.State[dst]*5 + k.State[src]%1009 + int64(epoch)
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 700 }
+	// Element-granular addresses: signature address == State index.
+	k.AddrSpan = epochal.IdentitySpan
 	return k
 }
 

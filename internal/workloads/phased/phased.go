@@ -179,6 +179,8 @@ func build(name string, scale int, closeConflicts bool) *epochal.Kernel {
 		k.State[a] = k.State[a]*3 + int64(g) + 1
 	}
 	k.TaskCost = func(epoch, task int) int64 { return 3000 }
+	// Element-granular addresses: signature address == State index.
+	k.AddrSpan = epochal.IdentitySpan
 	return k
 }
 

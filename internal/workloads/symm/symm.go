@@ -57,6 +57,8 @@ func New(scale int) *epochal.Kernel {
 	// cycles, the §5.1 regime. computeAddr is pure affine arithmetic, so
 	// the DOMORE scheduler's share is small (Table 5.2: 1.5%).
 	k.TaskCost = func(epoch, task int) int64 { return 480 }
+	// Element-granular addresses: signature address == State index.
+	k.AddrSpan = epochal.IdentitySpan
 	return k
 }
 

@@ -26,7 +26,13 @@
 //	          engine modes only; load via chrome://tracing or Perfetto)
 //	-metrics  print the metrics registry and per-thread timeline after the
 //	          run (single engine modes only)
-//	-misspec  inject a misspeculation at epoch N (speccross/adaptive)
+//	-misspec  inject a misspeculation at epoch N (speccross/adaptive;
+//	          with -remote it is forwarded to the daemon, which exercises
+//	          its rollback path and flight recorder)
+//	-explain  print the adaptive controller's per-window decision audit
+//	          after the run: engine, sampled signals, and the policy's
+//	          stated reason. With -remote it fetches the daemon's
+//	          /debug/decisions journal for the invocation
 //	-serve    serve /metrics (Prometheus text), /summary (JSON), and
 //	          /debug/pprof/ on ADDR while looping the workload (any mode,
 //	          including adaptive and all; CPU profiles carry engine/lane
@@ -57,6 +63,7 @@ import (
 	"crossinv/internal/daemon"
 	"crossinv/internal/ir"
 	"crossinv/internal/ir/interp"
+	"crossinv/internal/obs"
 	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
@@ -84,6 +91,7 @@ var (
 	traceFile = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	metrics   = flag.Bool("metrics", false, "print the metrics registry and per-thread timeline after the run")
 	misspec   = flag.Int("misspec", 0, "inject a misspeculation at this epoch (speccross/adaptive)")
+	explain   = flag.Bool("explain", false, "print the adaptive controller's per-window decision audit after the run (adaptive mode; works with -remote)")
 
 	serve     = flag.String("serve", "", "serve /metrics, /summary, and /debug/pprof on this address while looping the workload")
 	serveRuns = flag.Int("serve-runs", 0, "with -serve: stop after this many runs (0: loop until killed)")
@@ -115,13 +123,22 @@ func main() {
 		fatal(err)
 	}
 	if *remote != "" {
-		if *report || *analyze || *lint || *dump || *sweep || *serve != "" || *traceFile != "" || *metrics || *misspec > 0 {
-			fatal(fmt.Errorf("-remote sends the program to a daemon; it cannot combine with local-analysis flags (-report/-analyze/-lint/-dump/-sweep/-serve/-trace/-metrics/-misspec)"))
+		if *report || *analyze || *lint || *dump || *sweep || *serve != "" || *traceFile != "" || *metrics {
+			fatal(fmt.Errorf("-remote sends the program to a daemon; it cannot combine with local-analysis flags (-report/-analyze/-lint/-dump/-sweep/-serve/-trace/-metrics)"))
 		}
-		if err := runRemote(*remote, string(src), *mode, *workers, *region, *window); err != nil {
+		if *misspec > 0 && *mode != "speccross" && *mode != "adaptive" {
+			fatal(fmt.Errorf("-misspec applies only to -mode speccross or adaptive, not %s", *mode))
+		}
+		if *explain && *mode != "adaptive" && *mode != "all" {
+			fatal(fmt.Errorf("-explain renders the adaptive decision audit; it needs -mode adaptive (or all), not %s", *mode))
+		}
+		if err := runRemote(*remote, string(src), *mode, *workers, *region, *window, *misspec, *explain); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *explain && *mode != "adaptive" {
+		fatal(fmt.Errorf("-explain renders the adaptive decision audit; it needs -mode adaptive, not %s", *mode))
 	}
 	c, err := core.Compile(string(src))
 	if err != nil {
@@ -241,6 +258,12 @@ func main() {
 		case "adaptive":
 			acfg := adaptive.Config{Workers: *workers, Window: *window, Trace: rec}
 			acfg.Spec.ForceMisspecEpoch = *misspec
+			var audit []obs.DecisionEntry
+			if *explain {
+				acfg.OnDecision = func(d adaptive.Decision) {
+					audit = append(audit, obs.DecisionFromAudit("", d))
+				}
+			}
 			res, err := c.RunAdaptive(target, acfg)
 			if err != nil {
 				fmt.Printf("%-10s inapplicable: %v\n", m, err)
@@ -250,6 +273,9 @@ func main() {
 			fmt.Printf("%-10s checksum %016x  %v  (windows %d, switches %d, engine windows [domore speccross barrier] %v)\n",
 				m, got, time.Since(start).Round(time.Microsecond),
 				res.Stats.Windows, res.Stats.Switches, res.Stats.EngineWindows)
+			if *explain {
+				fmt.Print(renderDecisions(audit))
+			}
 		}
 		if got != want {
 			fmt.Fprintf(os.Stderr, "FAIL: %s checksum %016x != sequential %016x\n", m, got, want)

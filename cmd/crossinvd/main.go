@@ -14,9 +14,17 @@
 //	-queue          admission queue depth (default 2×max-inflight)
 //	-queue-timeout  max time a queued invocation waits (default 2s)
 //	-workers        default engine worker count per invocation (default 4)
+//	-flight-dir     flight-recorder dump directory (default <cache>/flightrec)
+//	-latency-budget p99 latency budget arming the flight recorder's
+//	                latency trigger (default 0: disabled)
+//	-no-trace       disable request-scoped tracing (spans, flight
+//	                recorder retention) — benchmark baseline only
 //
 // Endpoints: POST /run, GET /plans, GET /healthz, plus /metrics, /summary
-// and /debug/pprof/ from the internal/obs mux. Drive it with
+// and /debug/pprof/ from the internal/obs mux, plus the request-scoped
+// observability surface: GET /debug/decisions (adaptive decision audit,
+// ?invocation= filters) and GET /debug/flightrec (always-on flight
+// recorder; ?dump=1 forces a snapshot). Drive it with
 // `crossinv -remote ADDR prog.lnl` or raw JSON.
 //
 // SIGTERM/SIGINT drain gracefully: the daemon stops admitting (503),
@@ -43,6 +51,9 @@ var (
 	queueDepth   = flag.Int("queue", 0, "admission queue depth (0: 2x max-inflight)")
 	queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max time a queued invocation waits for a slot")
 	workers      = flag.Int("workers", 4, "default engine worker count per invocation")
+	flightDir    = flag.String("flight-dir", "", "flight-recorder dump directory (default <cache>/flightrec)")
+	latBudget    = flag.Duration("latency-budget", 0, "p99 latency budget arming the flight recorder's latency trigger (0: disabled)")
+	noTrace      = flag.Bool("no-trace", false, "disable request-scoped tracing (benchmark baseline only)")
 )
 
 func main() {
@@ -58,12 +69,19 @@ func run() error {
 	if dir == "" {
 		dir = filepath.Join(os.TempDir(), "crossinv-plancache")
 	}
+	fdir := *flightDir
+	if fdir == "" {
+		fdir = filepath.Join(dir, "flightrec")
+	}
 	s, err := daemon.New(daemon.Config{
 		CacheDir:       dir,
 		MaxInFlight:    *maxInflight,
 		QueueDepth:     *queueDepth,
 		QueueTimeout:   *queueTimeout,
 		DefaultWorkers: *workers,
+		FlightDir:      fdir,
+		LatencyBudget:  *latBudget,
+		DisableTracing: *noTrace,
 	})
 	if err != nil {
 		return err

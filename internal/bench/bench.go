@@ -195,6 +195,9 @@ func cellSpecs(opts Options) []cellSpec {
 	for _, s := range daemonSpecs(opts) {
 		add(s)
 	}
+	for _, s := range traceSpecs(opts) {
+		add(s)
+	}
 	return specs
 }
 

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceOverheadGate is the always-on tracing acceptance gate: on the
+// hot daemon path, request tracing (spans + engine events + flight span
+// extraction) must stay within 2% of the tracing-disabled median. The
+// gate only fails on a statistically significant breach — median beyond
+// the budget AND Mann-Whitney p < 0.05 — and escalates the sample count
+// before concluding, since single-digit-percent medians on a fast path
+// are noisy at small N.
+func TestTraceOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate needs repeated daemon invocations; skipped in -short")
+	}
+	const budget = 1.02
+	var offMed, onMed, p float64
+	for _, n := range []int{12, 20, 28} {
+		res, err := Run(Options{
+			N: n, Warmup: 2, Workers: 4,
+			Filter: func(id string) bool { return strings.HasPrefix(id, "daemon/trace.") },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		off, on := res.Cell("daemon/trace.off"), res.Cell("daemon/trace.on")
+		if off == nil || on == nil {
+			t.Fatalf("trace cells missing from grid: %+v", res.Cells)
+		}
+		offMed, onMed = off.Median, on.Median
+		if onMed <= offMed*budget {
+			return
+		}
+		if p = MannWhitneyP(off.Samples, on.Samples); p >= 0.05 {
+			return // over budget but indistinguishable from noise
+		}
+		t.Logf("N=%d: trace.on median %.0fns vs trace.off %.0fns (%.2f%%, p=%.3f); escalating",
+			n, onMed, offMed, 100*(onMed/offMed-1), p)
+	}
+	t.Errorf("always-on tracing overhead: trace.on median %.0fns > trace.off %.0fns × %.2f (%.2f%% over, p=%.3f)",
+		onMed, offMed, budget, 100*(onMed/offMed-1), p)
+}

@@ -55,6 +55,20 @@ type Config struct {
 	// DefaultWorkers is the engine worker count when a request does not
 	// name one (default 4).
 	DefaultWorkers int
+	// FlightDir is where the flight recorder writes dump artifacts; empty
+	// keeps dumps in-memory only (the /debug/flightrec window still works).
+	FlightDir string
+	// LatencyBudget arms the flight recorder's p99 trigger (see
+	// obs.FlightConfig.LatencyBudget); zero disables it.
+	LatencyBudget time.Duration
+	// TraceRingCap sizes each per-invocation recorder's event rings
+	// (default 4096 — smaller than trace.DefaultRingCap because recorders
+	// are pooled per request, not per process).
+	TraceRingCap int
+	// DisableTracing turns off request-scoped recorders entirely: no
+	// spans, no flight-recorder event retention, engines run untraced.
+	// The overhead benchmark's baseline; not recommended in production.
+	DisableTracing bool
 }
 
 func (c *Config) fill() error {
@@ -73,6 +87,9 @@ func (c *Config) fill() error {
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = 4
 	}
+	if c.TraceRingCap <= 0 {
+		c.TraceRingCap = 4096
+	}
 	return nil
 }
 
@@ -87,6 +104,15 @@ type Server struct {
 	// exists so the obs mux has a live registry to decorate with the
 	// daemon's own counters and the plan cache's.
 	rec *trace.Recorder
+
+	// Request-scoped observability: invSeq stamps invocation ids, recPool
+	// recycles per-request recorders (Reset between uses), decisions is
+	// the adaptive-controller journal behind /debug/decisions, flight the
+	// always-on anomaly recorder behind /debug/flightrec.
+	invSeq    atomic.Int64
+	recPool   sync.Pool
+	decisions *obs.DecisionLog
+	flight    *obs.FlightRecorder
 
 	mu       sync.Mutex
 	programs map[string]*program
@@ -123,6 +149,14 @@ type Server struct {
 	cacheHot  atomic.Int64
 	cacheWarm atomic.Int64
 	cacheCold atomic.Int64
+
+	// Checker pre-filter totals across all invocations, accumulated from
+	// each request recorder at finish. The hit rate is the cheap
+	// checker-pressure signal the adaptive monitor samples per window;
+	// these daemon-lifetime sums are its /metrics aggregate. Zero when
+	// tracing is disabled.
+	prefilterChecks atomic.Int64
+	prefilterHits   atomic.Int64
 }
 
 // New opens the plan cache and builds a server.
@@ -134,16 +168,30 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:      cfg,
-		store:    store,
-		rec:      trace.NewRecorder(),
-		programs: map[string]*program{},
-		inflight: make(chan struct{}, cfg.MaxInFlight),
-		done:     make(chan struct{}),
-		drained:  make(chan struct{}),
-	}, nil
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		rec:       trace.NewRecorder(),
+		programs:  map[string]*program{},
+		inflight:  make(chan struct{}, cfg.MaxInFlight),
+		done:      make(chan struct{}),
+		drained:   make(chan struct{}),
+		decisions: obs.NewDecisionLog(0),
+		flight: obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:           cfg.FlightDir,
+			LatencyBudget: cfg.LatencyBudget,
+		}),
+	}
+	s.recPool.New = func() any { return trace.NewRecorderCap(cfg.TraceRingCap) }
+	return s, nil
 }
+
+// Decisions exposes the adaptive-decision journal (tests, in-process
+// embedders).
+func (s *Server) Decisions() *obs.DecisionLog { return s.decisions }
+
+// Flight exposes the flight recorder (tests, in-process embedders).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Store exposes the plan cache (tests and /plans).
 func (s *Server) Store() *plancache.Store { return s.store }
@@ -156,6 +204,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/plans", s.handlePlans)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/decisions", s.decisions.Handler())
+	mux.HandleFunc("/debug/flightrec", s.flight.Handler())
 	return mux
 }
 
@@ -227,6 +277,11 @@ func (s *Server) Counters() map[string]int64 {
 	out["daemon.cache.hot"] = s.cacheHot.Load()
 	out["daemon.cache.warm"] = s.cacheWarm.Load()
 	out["daemon.cache.cold"] = s.cacheCold.Load()
+	out["checker.prefilter.checks"] = s.prefilterChecks.Load()
+	out["checker.prefilter.hits"] = s.prefilterHits.Load()
+	for name, v := range s.flight.Counters() {
+		out[name] = v
+	}
 	return out
 }
 
@@ -245,10 +300,15 @@ func (s *Server) decorate(g *trace.Registry) {
 	}
 }
 
-// admitErr classifies an admission rejection.
+// admitErr classifies an admission rejection. timeout marks the
+// queue-timeout flavor, which doubles as a flight-recorder trigger: a
+// request waiting out the full queue timeout means the daemon has been
+// saturated for that long, which is exactly when an operator wants a
+// window snapshot.
 type admitErr struct {
-	status int
-	msg    string
+	status  int
+	msg     string
+	timeout bool
 }
 
 func (e *admitErr) Error() string { return e.msg }
@@ -260,7 +320,7 @@ func (e *admitErr) Error() string { return e.msg }
 func (s *Server) admit() (release func(), aerr *admitErr) {
 	if s.draining.Load() {
 		s.rejectedDrain.Add(1)
-		return nil, &admitErr{http.StatusServiceUnavailable, "daemon is draining"}
+		return nil, &admitErr{status: http.StatusServiceUnavailable, msg: "daemon is draining"}
 	}
 	release = func() {
 		s.running.Add(-1)
@@ -279,7 +339,7 @@ func (s *Server) admit() (release func(), aerr *admitErr) {
 	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
 		s.waiting.Add(-1)
 		s.rejectedFull.Add(1)
-		return nil, &admitErr{http.StatusTooManyRequests, "admission queue full"}
+		return nil, &admitErr{status: http.StatusTooManyRequests, msg: "admission queue full"}
 	}
 	defer s.waiting.Add(-1)
 	timer := time.NewTimer(s.cfg.QueueTimeout)
@@ -291,17 +351,17 @@ func (s *Server) admit() (release func(), aerr *admitErr) {
 			// accepted, so bounce it rather than prolong the drain.
 			<-s.inflight
 			s.rejectedDrain.Add(1)
-			return nil, &admitErr{http.StatusServiceUnavailable, "daemon is draining"}
+			return nil, &admitErr{status: http.StatusServiceUnavailable, msg: "daemon is draining"}
 		}
 		s.admitted.Add(1)
 		s.running.Add(1)
 		return release, nil
 	case <-timer.C:
 		s.rejectedTimeout.Add(1)
-		return nil, &admitErr{http.StatusTooManyRequests, "admission queue timeout"}
+		return nil, &admitErr{status: http.StatusTooManyRequests, msg: "admission queue timeout", timeout: true}
 	case <-s.done:
 		s.rejectedDrain.Add(1)
-		return nil, &admitErr{http.StatusServiceUnavailable, "daemon is draining"}
+		return nil, &admitErr{status: http.StatusServiceUnavailable, msg: "daemon is draining"}
 	}
 }
 
@@ -323,14 +383,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.wg.Done()
+
+	inv := s.beginInvocation()
+	adm := inv.span(trace.SpanAdmission)
 	release, aerr := s.admit()
+	adm.End()
 	if aerr != nil {
-		writeJSON(w, aerr.status, &RunResponse{Error: aerr.msg})
+		if aerr.timeout {
+			s.flight.RecordTrigger(obs.TriggerAdmissionTimeout, aerr.msg, inv.id)
+		}
+		resp := &RunResponse{Invocation: inv.id, Error: aerr.msg}
+		s.finishInvocation(inv, &req, resp, aerr.status)
+		writeJSON(w, aerr.status, resp)
 		return
 	}
 	defer release()
 
-	resp, status := s.Execute(&req)
+	resp, status := s.execute(&req, inv)
+	s.finishInvocation(inv, &req, resp, status)
 	if status >= 500 || (status >= 400 && status != http.StatusUnprocessableEntity) {
 		s.failed.Add(1)
 	} else {
@@ -339,13 +409,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// PlansSchema versions the /plans document.
+const PlansSchema = "crossinv-plans/v1"
+
 func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 	type plansDoc struct {
+		Schema   string           `json:"schema"`
 		Entries  []plancache.Info `json:"entries"`
 		Programs []programInfo    `json:"programs"`
 		Counters map[string]int64 `json:"counters"`
 	}
 	doc := plansDoc{
+		Schema:   PlansSchema,
 		Entries:  s.store.List(),
 		Programs: s.programInfos(),
 		Counters: s.Counters(),

@@ -8,11 +8,13 @@ import (
 	"time"
 
 	"crossinv/internal/core"
+	"crossinv/internal/obs"
 	"crossinv/internal/plancache"
 	"crossinv/internal/runtime/adaptive"
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/runtime/speccross"
+	"crossinv/internal/runtime/trace"
 	"crossinv/internal/transform/mtcg"
 )
 
@@ -33,12 +35,20 @@ type RunRequest struct {
 	Sig string `json:"sig,omitempty"`
 	// Window overrides the adaptive monitoring window.
 	Window int `json:"window,omitempty"`
+	// Misspec, when positive, forces one artificial misspeculation at
+	// that epoch (speccross and adaptive modes). A fault-injection knob:
+	// it exercises the rollback/recovery path and trips the flight
+	// recorder's misspec-storm trigger on demand.
+	Misspec int `json:"misspec,omitempty"`
 }
 
 // RunResponse reports one invocation's outcome.
 type RunResponse struct {
-	OK     bool   `json:"ok"`
-	Engine string `json:"engine,omitempty"`
+	OK bool `json:"ok"`
+	// Invocation is the request-scoped trace id: the key into
+	// /debug/decisions?invocation= and the flight recorder's window.
+	Invocation string `json:"invocation,omitempty"`
+	Engine     string `json:"engine,omitempty"`
 	// Checksum is the executed result; SeqChecksum the sequential oracle
 	// it was verified against.
 	Checksum    uint64 `json:"checksum,omitempty"`
@@ -53,7 +63,10 @@ type RunResponse struct {
 	AnalysisSpans int64 `json:"analysis_spans"`
 	Regions       int   `json:"regions,omitempty"`
 	DurationNs    int64 `json:"duration_ns"`
-	Error         string `json:"error,omitempty"`
+	// Misspecs is the exact misspeculation count the request's trace
+	// recorder observed (0 when tracing is disabled).
+	Misspecs int64  `json:"misspecs,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // spans tallies the analysis stages one request ran.
@@ -369,14 +382,44 @@ func (s *Server) putPlan(p *program, rp *regionPlan, key plancache.Key, kind sig
 // Execute runs one invocation through the cache-aware dispatch and
 // returns the response plus its HTTP status. It is exported for
 // in-process callers (tests, the bench harness); handleRun wraps it with
-// admission control.
+// admission control. In-process invocations get the same request-scoped
+// tracing the HTTP path does (flight-recorder retention included).
 //
 // Status mapping: 400 malformed request, 422 the program itself cannot
 // compile or be parallelized as asked (the daemon is healthy), 500 an
 // engine failed or verification against the oracle mismatched.
 func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
+	inv := s.beginInvocation()
+	resp, status := s.execute(req, inv)
+	s.finishInvocation(inv, req, resp, status)
+	return resp, status
+}
+
+// ExecuteTraced is Execute plus the invocation's full event capture,
+// snapshotted before the recorder is recycled — what the Chrome-export
+// golden test and in-process trace consumers use. events is nil when
+// tracing is disabled.
+func (s *Server) ExecuteTraced(req *RunRequest) (resp *RunResponse, status int, events []trace.Event) {
+	inv := s.beginInvocation()
+	resp, status = s.execute(req, inv)
+	// Close the root here so the capture contains the complete tree; the
+	// zeroed Span makes finishInvocation's End a no-op. Copy the events:
+	// they may alias live ring storage, and the recorder is about to be
+	// recycled for another request.
+	inv.root.End()
+	inv.root = trace.Span{}
+	if evs := inv.rec.Events(); evs != nil {
+		events = append([]trace.Event(nil), evs...)
+	}
+	s.finishInvocation(inv, req, resp, status)
+	return resp, status, events
+}
+
+// execute is the dispatch body: every stage is wrapped in a request-lane
+// span parented under inv's root, and engines write to inv's recorder.
+func (s *Server) execute(req *RunRequest, inv *invocation) (*RunResponse, int) {
 	start := time.Now()
-	resp := &RunResponse{}
+	resp := &RunResponse{Invocation: inv.id}
 	fail := func(status int, format string, args ...any) (*RunResponse, int) {
 		resp.Error = fmt.Sprintf(format, args...)
 		resp.DurationNs = time.Since(start).Nanoseconds()
@@ -407,7 +450,9 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 	p := s.program(req.Source)
 	p.runs.Add(1)
 	st := &spans{}
+	csp := inv.span(trace.SpanCompile)
 	c, err := p.ensureCompiled(s, req.Source, st)
+	csp.End()
 	if err != nil {
 		resp.AnalysisSpans = st.total()
 		return fail(422, "compile: %v", err)
@@ -462,17 +507,29 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 		return fail(422, "region %d: %v", regionIdx, err)
 	}
 	rp := p.region(regionIdx)
+	lsp := inv.span(trace.SpanCacheLookup)
 	diskHit := s.adopt(p, rp, key, kind)
+	lsp.End()
 
+	osp := inv.span(trace.SpanOracle)
 	oracle, err := p.ensureOracle(s, c, st)
+	osp.End()
 	if err != nil {
 		resp.AnalysisSpans = st.total()
 		return fail(422, "oracle: %v", err)
 	}
 
+	// profile wraps ensureProfile in its span; all three call sites (auto
+	// dispatch, speccross, adaptive seeding) go through it.
+	profile := func() (*speccross.ProfileResult, error) {
+		psp := inv.span(trace.SpanProfile)
+		defer psp.End()
+		return rp.ensureProfile(s, c, regionIdx, kind, st)
+	}
+
 	engine := mode
 	if mode == "auto" {
-		pr, perr := rp.ensureProfile(s, c, regionIdx, kind, st)
+		pr, perr := profile()
 		if perr != nil {
 			resp.AnalysisSpans = st.total()
 			return fail(422, "profile: %v", perr)
@@ -486,33 +543,43 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 
 	var sum uint64
 	var rerr error
+	esp := inv.span(trace.SpanExecute)
 	switch engine {
 	case "barrier":
-		res, e := c.RunBarriersTraced(region, workers, nil)
+		res, e := c.RunBarriersTraced(region, workers, inv.rec)
 		if e != nil {
 			rerr = e
 		} else {
 			sum = res.Env.Checksum()
 		}
 	case "domore":
+		psp := inv.span(trace.SpanPlan)
 		par, e := rp.ensureDomorePlan(s, c, regionIdx, st)
+		psp.End()
 		if e != nil {
+			esp.End()
 			resp.AnalysisSpans = st.total()
 			return fail(422, "domore plan: %v", e)
 		}
-		res, e := c.RunDOMOREPlanned(par, region, domore.Options{Workers: workers})
+		res, e := c.RunDOMOREPlanned(par, region, domore.Options{Workers: workers, Trace: inv.rec})
 		if e != nil {
 			rerr = e
 		} else {
 			sum = res.Env.Checksum()
 		}
 	case "speccross":
-		pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
+		pr, e := profile()
 		if e != nil {
+			esp.End()
 			resp.AnalysisSpans = st.total()
 			return fail(422, "profile: %v", e)
 		}
-		res, e := c.RunSpecCrossProfiled(region, speccross.Config{Workers: workers, SigKind: kind}, *pr)
+		scfg := speccross.Config{
+			Workers: workers, SigKind: kind,
+			Trace:             inv.rec,
+			ForceMisspecEpoch: req.Misspec,
+		}
+		res, e := c.RunSpecCrossProfiled(region, scfg, *pr)
 		if e != nil {
 			rerr = e
 		} else {
@@ -528,6 +595,14 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 			rp.mu.Unlock()
 		}
 		cfg.Spec.SigKind = kind
+		cfg.Spec.ForceMisspecEpoch = req.Misspec
+		cfg.Trace = inv.rec
+		cfg.SpanParent = esp.ID()
+		cfg.OnDecision = func(d adaptive.Decision) {
+			e := obs.DecisionFromAudit(inv.id, d)
+			s.decisions.Append(e)
+			inv.decisions = append(inv.decisions, e)
+		}
 		// Static facts seed first. A provably-DOALL region ("none") pins
 		// barrier-free speculation and the §4.4 profiling pass is skipped
 		// outright — there is no dependence to profile. Otherwise the
@@ -542,8 +617,9 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 		p.mu.Unlock()
 		cfg.SeedFromFacts(fclass, fdist)
 		if fclass != "none" {
-			pr, e := rp.ensureProfile(s, c, regionIdx, kind, st)
+			pr, e := profile()
 			if e != nil {
+				esp.End()
 				resp.AnalysisSpans = st.total()
 				return fail(422, "profile: %v", e)
 			}
@@ -556,6 +632,7 @@ func (s *Server) Execute(req *RunRequest) (*RunResponse, int) {
 			sum = res.Env.Checksum()
 		}
 	}
+	esp.End()
 	resp.AnalysisSpans = st.total()
 	if rerr != nil {
 		// Construction failures (e.g. no DOMORE view for this region shape)

@@ -1,0 +1,91 @@
+package daemon
+
+import (
+	"fmt"
+
+	"crossinv/internal/obs"
+	"crossinv/internal/runtime/trace"
+)
+
+// invocation is the request-scoped observability context: a pooled trace
+// recorder stamped with the invocation id, the request-lane root span,
+// and the decision entries an adaptive run journals. Every /run carries
+// one from admission through engine execution; in-process Execute calls
+// get one too, so tests and the bench harness see the same span tree the
+// HTTP path produces.
+type invocation struct {
+	id   string
+	rec  *trace.Recorder // nil when tracing is disabled
+	lane *trace.ThreadTrace
+	root trace.Span
+
+	// decisions accumulates this request's adaptive-controller journal
+	// entries (appended from the request goroutine only — adaptive.Run is
+	// synchronous, so no lock is needed).
+	decisions []obs.DecisionEntry
+}
+
+// span opens a request-lane stage span parented under the invocation
+// root. Safe on a disabled invocation: every call degrades to a no-op.
+func (inv *invocation) span(k trace.SpanKind) trace.Span {
+	return inv.lane.BeginSpan(k, inv.root.ID())
+}
+
+// beginInvocation assigns the next invocation id and checks a recorder
+// out of the pool. The recorder is request-private (engines write to it
+// freely) and returns to the pool in finishInvocation.
+func (s *Server) beginInvocation() *invocation {
+	inv := &invocation{id: fmt.Sprintf("inv-%06d", s.invSeq.Add(1))}
+	if s.cfg.DisableTracing {
+		return inv
+	}
+	inv.rec = s.recPool.Get().(*trace.Recorder)
+	inv.rec.SetInvocation(inv.id)
+	inv.lane = inv.rec.Lane(trace.LaneRequest)
+	inv.root = inv.lane.BeginSpan(trace.SpanInvocation, 0)
+	return inv
+}
+
+// finishInvocation closes the root span, feeds the flight recorder, and
+// recycles the recorder. It stamps the response with the trace-derived
+// speculation counters so clients see what the window retains. Called
+// exactly once per invocation, after the response is final but before
+// it is written.
+func (s *Server) finishInvocation(inv *invocation, req *RunRequest, resp *RunResponse, status int) {
+	inv.root.End()
+	fi := obs.FlightInvocation{
+		ID:        inv.id,
+		Mode:      req.Mode,
+		Engine:    resp.Engine,
+		Cache:     resp.Cache,
+		Status:    status,
+		DurNs:     resp.DurationNs,
+		Decisions: inv.decisions,
+	}
+	var full func() []trace.Event
+	if inv.rec != nil {
+		sum := inv.rec.Summary()
+		fi.Misspecs = sum.Counts[trace.KindMisspec]
+		fi.Tasks = sum.Counts[trace.KindTaskStart] + sum.Counts[trace.KindIterStart]
+		fi.Comparisons = sum.Counts[trace.KindSigCheck]
+		fi.PrefilterChecks = sum.Counts[trace.KindSigPrefilter]
+		fi.PrefilterHits = sum.Sums[trace.KindSigPrefilter]
+		s.prefilterChecks.Add(fi.PrefilterChecks)
+		s.prefilterHits.Add(fi.PrefilterHits)
+		resp.Misspecs = fi.Misspecs
+		fi.Events = inv.rec.SpanEvents()
+		fi.Spans = trace.SpansFromEvents(fi.Events)
+		// Full capture stays lazy: Observe invokes it synchronously (only
+		// on a trigger) before this function recycles the recorder, so the
+		// rings are still intact when a dump serializes them.
+		rec := inv.rec
+		full = func() []trace.Event { return rec.Events() }
+	}
+	s.flight.Observe(fi, full)
+	if inv.rec != nil {
+		inv.rec.Reset()
+		s.recPool.Put(inv.rec)
+		inv.rec = nil
+		inv.lane = nil
+	}
+}

@@ -45,8 +45,10 @@ func (d Diagnostic) String() string {
 // while an engine runs (the audited contract on domore.Stats: every other
 // field is single-writer and may use plain increments).
 var atomicStatsFields = map[string]bool{
-	"Stalls":      true,
-	"RangeStalls": true,
+	"Stalls":          true,
+	"RangeStalls":     true,
+	"PrefilterChecks": true,
+	"PrefilterHits":   true,
 }
 
 // enginePackages scopes the stats-atomic rule: only inside the engines do

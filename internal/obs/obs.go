@@ -24,9 +24,14 @@ import (
 	"crossinv/internal/runtime/trace"
 )
 
+// SummarySchema versions the /summary document; consumers check it
+// before trusting field meanings.
+const SummarySchema = "crossinv-summary/v1"
+
 // Summary is the /summary JSON document: the live trace totals plus the
 // non-zero per-kind counts and argument sums, keyed by kind name.
 type Summary struct {
+	Schema  string           `json:"schema"`
 	Events  int64            `json:"events"`
 	Dropped int64            `json:"dropped"`
 	Lanes   int              `json:"lanes"`
@@ -37,6 +42,7 @@ type Summary struct {
 // MakeSummary converts a trace summary to its JSON form.
 func MakeSummary(sum trace.Summary) Summary {
 	out := Summary{
+		Schema:  SummarySchema,
 		Events:  sum.Events,
 		Dropped: sum.Dropped,
 		Lanes:   sum.Lanes,

@@ -21,6 +21,7 @@ package adaptive
 
 import (
 	"fmt"
+	"time"
 
 	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/shadow"
@@ -113,6 +114,19 @@ type Config struct {
 	// the policy's inputs come from the same observability stream that
 	// export and metrics use.
 	Trace *trace.Recorder
+	// SpanParent, when nonzero, parents each window's request span under
+	// an enclosing span — the daemon passes its execute span's id so the
+	// invocation's span tree shows every window.
+	SpanParent int64
+	// OnDecision, when non-nil, observes every window-boundary decision
+	// synchronously from the controller goroutine — the audit hook the
+	// daemon journals into /debug/decisions. It must be fast; engine
+	// threads are quiescent while it runs.
+	OnDecision func(Decision)
+	// SeedSource records how Start/Policy were primed (set by
+	// SeedFromFacts/SeedFromProfile, overridable by callers replaying a
+	// cached seed); it is copied into every Decision for provenance.
+	SeedSource string
 }
 
 func (c *Config) fill() {
@@ -181,8 +195,10 @@ func runWindows(w Workload, cfg Config, epochs int) Stats {
 		}
 		win := &window{w: w, lo: lo, hi: hi}
 		sample := Sample{Engine: engine, StartEpoch: lo, EndEpoch: hi}
+		winSpan := ctl.BeginSpan(trace.SpanWindow, cfg.SpanParent)
 		ctl.Emit(trace.KindWindowBegin, int64(lo), int64(hi), int64(engine))
 		before := cfg.Trace.Summary()
+		winStart := time.Now()
 
 		switch engine {
 		case EngineBarrier:
@@ -232,10 +248,16 @@ func runWindows(w Workload, cfg Config, epochs int) Stats {
 			if st.Tasks > 0 {
 				sample.CheckerPressure = float64(st.Comparisons) / float64(st.Tasks)
 			}
+			if st.PrefilterChecks > 0 {
+				sample.PrefilterHitRate = float64(st.PrefilterHits) / float64(st.PrefilterChecks)
+			}
 		default:
 			panic(fmt.Sprintf("adaptive: unknown engine %v", engine))
 		}
+		winNs := int64(time.Since(winStart))
+		winSpan.End()
 
+		boundaryStart := time.Now()
 		if ctl.Enabled() {
 			// The monitor refactor: with tracing on, the policy's inputs
 			// come from the event stream (exact Summary deltas over the
@@ -254,6 +276,21 @@ func runWindows(w Workload, cfg Config, epochs int) Stats {
 		if next != engine {
 			stats.Switches++
 			ctl.Emit(trace.KindEngineSwitch, int64(engine), int64(next), int64(hi))
+		}
+		if cfg.OnDecision != nil {
+			ps := explainPolicy(cfg.Policy, next)
+			cfg.OnDecision(Decision{
+				Window:     stats.Windows - 1,
+				Sample:     sample,
+				Next:       next,
+				Switched:   next != engine,
+				WindowNs:   winNs,
+				BoundaryNs: int64(time.Since(boundaryStart)),
+				Reason:     ps.Reason,
+				SeedSource: cfg.SeedSource,
+				PolicyLow:  ps.Low,
+				PolicyHold: ps.Hold,
+			})
 		}
 		engine = next
 		lo = hi
@@ -282,6 +319,12 @@ func applyTraceSample(sample *Sample, engine Engine, before, after trace.Summary
 		sample.Misspeculated = d(trace.KindMisspec) > 0
 		if sample.Tasks > 0 {
 			sample.CheckerPressure = float64(d(trace.KindSigCheck)) / float64(sample.Tasks)
+		}
+		// The pre-filter event carries its outcome in argument A, so the
+		// hit rate falls out of the count/sum deltas.
+		if checks := d(trace.KindSigPrefilter); checks > 0 {
+			hits := after.Sums[trace.KindSigPrefilter] - before.Sums[trace.KindSigPrefilter]
+			sample.PrefilterHitRate = float64(hits) / float64(checks)
 		}
 	}
 }
@@ -359,6 +402,7 @@ func addSpec(dst *speccross.Stats, s speccross.Stats) {
 	dst.ReexecutedEpochs += s.ReexecutedEpochs
 	dst.RangeStalls += s.RangeStalls
 	dst.PrefilterChecks += s.PrefilterChecks
+	dst.PrefilterHits += s.PrefilterHits
 	dst.DeltaCheckpoints += s.DeltaCheckpoints
 	dst.DeltaCells += s.DeltaCells
 	dst.DeltaRestores += s.DeltaRestores

@@ -59,6 +59,12 @@ type Sample struct {
 	Misspeculated bool
 	// CheckerPressure is signature comparisons per task (SPECCROSS).
 	CheckerPressure float64
+	// PrefilterHitRate is the fraction of checker union pre-filter tests
+	// that passed and forced a precise per-task scan (SPECCROSS windows).
+	// It is a cheaper leading indicator of checker load than
+	// CheckerPressure: the union test runs once per (worker, epoch) row
+	// regardless of how many tasks the row logs.
+	PrefilterHitRate float64
 }
 
 // Policy picks the engine for the next window given the sample of the
@@ -96,9 +102,16 @@ type ThresholdPolicy struct {
 	// Backoff is how many DOMORE windows to hold after a misspeculation
 	// before low manifest rates count again (default 4).
 	Backoff int
+	// PrefilterMax, when positive, is the union pre-filter hit-rate bound
+	// above which a SPECCROSS window triggers fallback even before the
+	// precise comparisons pile up (the cheap checker-pressure signal).
+	// Zero disables the check, which is the default: the bound is
+	// workload-dependent, so callers opt in.
+	PrefilterMax float64
 
-	low  int // consecutive DOMORE windows at/below SpecEnter
-	hold int // remaining post-misspeculation hold windows
+	low        int    // consecutive DOMORE windows at/below SpecEnter
+	hold       int    // remaining post-misspeculation hold windows
+	lastReason string // ground for the last Decide answer, for Explain
 }
 
 // NewThreshold returns a ThresholdPolicy with the default constants.
@@ -128,11 +141,13 @@ func (p *ThresholdPolicy) Decide(s Sample) Engine {
 	case EngineBarrier:
 		// The barrier baseline observes nothing; probe with DOMORE, whose
 		// scheduler measures the manifest rate directly.
+		p.lastReason = "barrier window carries no dependence signal; probing with domore"
 		return EngineDomore
 	case EngineDomore:
 		if p.hold > 0 {
 			p.hold--
 			p.low = 0
+			p.lastReason = fmt.Sprintf("post-misspeculation backoff, holding domore (%d windows left)", p.hold)
 			return EngineDomore
 		}
 		if s.ManifestRate <= p.SpecEnter {
@@ -142,18 +157,42 @@ func (p *ThresholdPolicy) Decide(s Sample) Engine {
 		}
 		if p.low >= p.Patience {
 			p.low = 0
+			p.lastReason = fmt.Sprintf("manifest rate %.3f at/below spec-enter %.3f for %d window(s); entering speculation",
+				s.ManifestRate, p.SpecEnter, p.Patience)
 			return EngineSpecCross
+		}
+		if s.ManifestRate <= p.SpecEnter {
+			p.lastReason = fmt.Sprintf("manifest rate %.3f qualifies but patience %d/%d not met", s.ManifestRate, p.low, p.Patience)
+		} else {
+			p.lastReason = fmt.Sprintf("manifest rate %.3f above spec-enter %.3f; dependences manifest, staying in domore",
+				s.ManifestRate, p.SpecEnter)
 		}
 		return EngineDomore
 	case EngineSpecCross:
-		if s.Misspeculated || s.CheckerPressure > p.PressureMax {
-			p.hold = p.Backoff
-			p.low = 0
-			return EngineDomore
+		switch {
+		case s.Misspeculated:
+			p.lastReason = fmt.Sprintf("window misspeculated; falling back to domore for %d windows", p.Backoff)
+		case s.CheckerPressure > p.PressureMax:
+			p.lastReason = fmt.Sprintf("checker pressure %.2f above %.2f; falling back to domore", s.CheckerPressure, p.PressureMax)
+		case p.PrefilterMax > 0 && s.PrefilterHitRate > p.PrefilterMax:
+			p.lastReason = fmt.Sprintf("pre-filter hit rate %.2f above %.2f; falling back to domore", s.PrefilterHitRate, p.PrefilterMax)
+		default:
+			p.lastReason = fmt.Sprintf("speculation healthy (pressure %.2f, pre-filter hit rate %.2f); staying in speccross",
+				s.CheckerPressure, s.PrefilterHitRate)
+			return EngineSpecCross
 		}
-		return EngineSpecCross
+		p.hold = p.Backoff
+		p.low = 0
+		return EngineDomore
 	}
+	p.lastReason = fmt.Sprintf("unknown engine %v; keeping it", s.Engine)
 	return s.Engine
+}
+
+// Explain implements Explainer: the reason for the last Decide answer
+// plus the hysteresis counters backing it.
+func (p *ThresholdPolicy) Explain() PolicyState {
+	return PolicyState{Reason: p.lastReason, Low: p.low, Hold: p.hold}
 }
 
 // Fixed is a degenerate policy that always answers the same engine — the

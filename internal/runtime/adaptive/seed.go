@@ -81,6 +81,7 @@ func (c *Config) SeedFromFacts(class string, minDistance int64) bool {
 	default:
 		return false
 	}
+	c.SeedSource = "facts:" + class
 	return true
 }
 
@@ -91,6 +92,7 @@ func (c *Config) SeedFromProfile(minDistance int64, workers int) {
 	if minDistance != NoConflictDistance && minDistance < int64(workers) {
 		c.Start = EngineDomore
 		c.Policy = Fixed(EngineDomore)
+		c.SeedSource = "profile:unprofitable"
 		return
 	}
 	c.Start = EngineSpecCross
@@ -99,4 +101,5 @@ func (c *Config) SeedFromProfile(minDistance int64, workers int) {
 	} else {
 		c.Spec.SpecDistance = 0
 	}
+	c.SeedSource = "profile:speculate"
 }

@@ -189,10 +189,11 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats, tt *trace.Th
 			}
 			atomic.AddInt64(&stats.PrefilterChecks, 1)
 			if !e.sig.Conflicts(u) {
-				tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 0)
+				tt.Emit(trace.KindSigPrefilter, 0, int64(o), int64(re))
 				continue
 			}
-			tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 1)
+			atomic.AddInt64(&stats.PrefilterHits, 1)
+			tt.Emit(trace.KindSigPrefilter, 1, int64(o), int64(re))
 			for i := range orow.log[re] {
 				s := &orow.log[re][i]
 				if s.pos < e.wm[o] {
@@ -221,10 +222,11 @@ func (c *checker) process(e taskEntry, st *specState, stats *Stats, tt *trace.Th
 			u := orow.union[re]
 			atomic.AddInt64(&stats.PrefilterChecks, 1)
 			if !e.sig.Conflicts(u) {
-				tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 0)
+				tt.Emit(trace.KindSigPrefilter, 0, int64(o), int64(re))
 				continue
 			}
-			tt.Emit(trace.KindSigPrefilter, int64(o), int64(re), 1)
+			atomic.AddInt64(&stats.PrefilterHits, 1)
+			tt.Emit(trace.KindSigPrefilter, 1, int64(o), int64(re))
 			for i := range orow.log[re] {
 				s := &orow.log[re][i]
 				if s.wm[e.tid] > e.pos {

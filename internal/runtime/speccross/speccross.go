@@ -187,8 +187,8 @@ func (c *Config) fill() {
 //
 // Concurrency contract (audited, enforced by the stats_race_test regression
 // under -race): Tasks and RangeStalls are incremented with atomic.AddInt64
-// by concurrent workers; CheckRequests, Comparisons, and PrefilterChecks
-// with atomic.AddInt64 by the checker shards; Epochs, Misspeculations,
+// by concurrent workers; CheckRequests, Comparisons, PrefilterChecks, and
+// PrefilterHits with atomic.AddInt64 by the checker shards; Epochs, Misspeculations,
 // Checkpoints, ReexecutedEpochs, DeltaCheckpoints, DeltaCells, and
 // DeltaRestores with plain increments by the engine goroutine alone, at
 // segment boundaries where workers and checker are quiescent. The returned
@@ -220,6 +220,11 @@ type Stats struct {
 	// against. Rows whose running union does not conflict skip the precise
 	// per-task scan, so Comparisons only counts survivors.
 	PrefilterChecks int64
+	// PrefilterHits counts the pre-filter tests that passed (the union
+	// conflicted, forcing a precise per-task scan). The hit rate
+	// PrefilterHits/PrefilterChecks is the cheap checker-pressure signal
+	// the adaptive monitor samples.
+	PrefilterHits int64
 	// DeltaCheckpoints counts checkpoints taken incrementally (a subset of
 	// Checkpoints); DeltaCells is the total number of state cells those
 	// checkpoints refreshed in the base image.

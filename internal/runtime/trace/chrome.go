@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // chromeEvent is one entry of the Chrome trace_event JSON format
@@ -25,18 +26,20 @@ type chromeFile struct {
 }
 
 // chromeTID maps a lane to a non-negative Chrome thread id with a
-// stable, legible ordering: control=0, scheduler=1, checkers=2…,
-// workers from 10.
+// stable, legible ordering: request=0, control=1, scheduler=2,
+// checkers=3…, workers from 10.
 func chromeTID(lane int32) int {
 	switch {
 	case lane >= 0:
 		return 10 + int(lane)
-	case lane == LaneControl:
+	case lane == LaneRequest:
 		return 0
-	case lane == LaneScheduler:
+	case lane == LaneControl:
 		return 1
+	case lane == LaneScheduler:
+		return 2
 	default: // checker shard s at lane LaneCheckerBase-s
-		return 2 + int(LaneCheckerBase-lane)
+		return 3 + int(LaneCheckerBase-lane)
 	}
 }
 
@@ -69,51 +72,127 @@ func eventArgs(e Event) map[string]any {
 	}
 }
 
+// appendLaneChrome converts one lane's events (oldest first) into Chrome
+// events under the given process, keeping B/E pairs balanced: class ends
+// and span ends whose begins were overwritten by ring wraparound are
+// dropped so the output always nests.
+func appendLaneChrome(out []chromeEvent, pid int, lane int32, events []Event) []chromeEvent {
+	tid := chromeTID(lane)
+	out = append(out, chromeEvent{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": LaneName(lane)},
+	})
+	var depth [len(spanClasses)]int
+	var spanStack []string // open request-span names, innermost last
+	for _, e := range events {
+		ts := float64(e.Nanos) / 1e3
+		switch e.Kind {
+		case KindQueueDepth:
+			out = append(out, chromeEvent{
+				Name: "queue depth", Phase: "C", TS: ts, PID: pid, TID: tid,
+				Args: map[string]any{"depth": e.A},
+			})
+			continue
+		case KindSpanBegin:
+			name := SpanKind(e.C).String()
+			spanStack = append(spanStack, name)
+			out = append(out, chromeEvent{
+				Name: name, Phase: "B", TS: ts, PID: pid, TID: tid,
+				Args: map[string]any{"span": e.A, "parent": e.B},
+			})
+			continue
+		case KindSpanEnd:
+			if n := len(spanStack); n > 0 {
+				// Close the innermost open span: spans nest per lane, and
+				// reusing the stacked name keeps B/E balanced even if the
+				// matching begin's name was lost to wraparound.
+				out = append(out, chromeEvent{
+					Name: spanStack[n-1], Phase: "E", TS: ts, PID: pid, TID: tid,
+				})
+				spanStack = spanStack[:n-1]
+			}
+			continue
+		}
+		if idx, isBegin, ok := classOf(e.Kind); ok {
+			if isBegin {
+				depth[idx]++
+				out = append(out, chromeEvent{
+					Name: spanClasses[idx].name, Phase: "B", TS: ts, PID: pid, TID: tid,
+					Args: eventArgs(e),
+				})
+			} else if depth[idx] > 0 {
+				depth[idx]--
+				out = append(out, chromeEvent{
+					Name: spanClasses[idx].name, Phase: "E", TS: ts, PID: pid, TID: tid,
+				})
+			}
+			continue
+		}
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(), Phase: "i", TS: ts, PID: pid, TID: tid,
+			Scope: "t", Args: eventArgs(e),
+		})
+	}
+	return out
+}
+
 // WriteChrome writes the recorder's surviving events in Chrome
 // trace_event JSON. Spans become balanced B/E pairs per thread (ends
 // whose begins were overwritten by ring wraparound are dropped so the
 // output always nests), instants become "i" events, and queue-depth
-// samples become "C" counter events. The file loads directly in
-// chrome://tracing or https://ui.perfetto.dev.
+// samples become "C" counter events. A recorder labeled with an
+// invocation id (SetInvocation) names its process track after it. The
+// file loads directly in chrome://tracing or https://ui.perfetto.dev.
 func (r *Recorder) WriteChrome(w io.Writer) error {
 	var out []chromeEvent
 	if r != nil {
-		for _, t := range r.laneList() {
-			tid := chromeTID(t.lane)
+		if inv := r.invocation; inv != "" {
 			out = append(out, chromeEvent{
-				Name: "thread_name", Phase: "M", PID: 0, TID: tid,
-				Args: map[string]any{"name": LaneName(t.lane)},
+				Name: "process_name", Phase: "M", PID: 0,
+				Args: map[string]any{"name": "invocation " + inv},
 			})
-			var depth [len(spanClasses)]int
-			for _, e := range t.events() {
-				ts := float64(e.Nanos) / 1e3
-				if e.Kind == KindQueueDepth {
-					out = append(out, chromeEvent{
-						Name: "queue depth", Phase: "C", TS: ts, PID: 0, TID: tid,
-						Args: map[string]any{"depth": e.A},
-					})
-					continue
-				}
-				if idx, isBegin, ok := classOf(e.Kind); ok {
-					if isBegin {
-						depth[idx]++
-						out = append(out, chromeEvent{
-							Name: spanClasses[idx].name, Phase: "B", TS: ts, PID: 0, TID: tid,
-							Args: eventArgs(e),
-						})
-					} else if depth[idx] > 0 {
-						depth[idx]--
-						out = append(out, chromeEvent{
-							Name: spanClasses[idx].name, Phase: "E", TS: ts, PID: 0, TID: tid,
-						})
-					}
-					continue
-				}
-				out = append(out, chromeEvent{
-					Name: e.Kind.String(), Phase: "i", TS: ts, PID: 0, TID: tid,
-					Scope: "t", Args: eventArgs(e),
-				})
+		}
+		for _, t := range r.laneList() {
+			out = appendLaneChrome(out, 0, t.lane, t.events())
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ns"})
+}
+
+// ChromeProc is one process track of a multi-invocation Chrome export:
+// a pid, a display name (typically the invocation id), and the events to
+// render under it.
+type ChromeProc struct {
+	PID    int
+	Name   string
+	Events []Event
+}
+
+// WriteChromeProcs writes several event sets as separate named process
+// tracks in one Chrome trace_event file — the flight recorder uses it to
+// dump the retained invocation window with each invocation as its own
+// track. Events within a proc are grouped by lane (preserving order
+// within each lane) and rendered exactly as WriteChrome renders a
+// single recorder.
+func WriteChromeProcs(w io.Writer, procs []ChromeProc) error {
+	var out []chromeEvent
+	for _, p := range procs {
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: p.PID,
+			Args: map[string]any{"name": p.Name},
+		})
+		var lanes []int32
+		byLane := map[int32][]Event{}
+		for _, e := range p.Events {
+			if _, ok := byLane[e.Lane]; !ok {
+				lanes = append(lanes, e.Lane)
 			}
+			byLane[e.Lane] = append(byLane[e.Lane], e)
+		}
+		sort.Slice(lanes, func(i, j int) bool { return lanes[i] < lanes[j] })
+		for _, lane := range lanes {
+			out = appendLaneChrome(out, p.PID, lane, byLane[lane])
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -135,23 +214,27 @@ func ValidateChrome(data []byte) error {
 	if len(f.TraceEvents) == 0 {
 		return fmt.Errorf("trace: no traceEvents")
 	}
-	stacks := map[int][]string{}
+	// B/E stacks are per (pid, tid): multi-process files (WriteChromeProcs)
+	// legitimately reuse tids across invocation tracks.
+	type track struct{ pid, tid int }
+	stacks := map[track][]string{}
 	for i, e := range f.TraceEvents {
 		if e.Name == "" {
 			return fmt.Errorf("trace: event %d has no name", i)
 		}
+		tr := track{e.PID, e.TID}
 		switch e.Phase {
 		case "B":
-			stacks[e.TID] = append(stacks[e.TID], e.Name)
+			stacks[tr] = append(stacks[tr], e.Name)
 		case "E":
-			st := stacks[e.TID]
+			st := stacks[tr]
 			if len(st) == 0 {
-				return fmt.Errorf("trace: event %d: E %q on tid %d without matching B", i, e.Name, e.TID)
+				return fmt.Errorf("trace: event %d: E %q on pid %d tid %d without matching B", i, e.Name, e.PID, e.TID)
 			}
 			if top := st[len(st)-1]; top != e.Name {
 				return fmt.Errorf("trace: event %d: E %q does not match open B %q", i, e.Name, top)
 			}
-			stacks[e.TID] = st[:len(st)-1]
+			stacks[tr] = st[:len(st)-1]
 		case "i", "C", "M", "X":
 			// instant, counter, metadata, complete: no pairing.
 		default:

@@ -248,6 +248,14 @@ func (r *Recorder) LiveMetrics() *Registry {
 			g.AddCounter("events."+k.String(), sum.Counts[k])
 		}
 	}
+	// The checker's union pre-filter encodes its outcome in argument A
+	// (1 = passed, precise scan followed), so the exact hit/miss split —
+	// the cheap checker-pressure signal — falls out of the counters.
+	if c := sum.Counts[KindSigPrefilter]; c != 0 {
+		hits := sum.Sums[KindSigPrefilter]
+		g.AddCounter("sig.prefilter.hit", hits)
+		g.AddCounter("sig.prefilter.miss", c-hits)
+	}
 	g.AddCounter("trace.events", sum.Events)
 	g.AddCounter("trace.dropped", sum.Dropped)
 	g.SetGauge("trace.lanes", float64(sum.Lanes))

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanLifecycle covers the request-span basics: ids are unique and
+// increasing, parents link, Spans reconstructs the tree with intervals,
+// and the nil/zero handles are inert.
+func TestSpanLifecycle(t *testing.T) {
+	r := NewRecorderCap(64)
+	lane := r.Lane(LaneRequest)
+
+	root := lane.BeginSpan(SpanInvocation, 0)
+	if root.ID() != 1 {
+		t.Fatalf("first span id = %d, want 1", root.ID())
+	}
+	adm := lane.BeginSpan(SpanAdmission, root.ID())
+	adm.End()
+	exec := lane.BeginSpan(SpanExecute, root.ID())
+	// A controller span on another lane parented under exec.
+	win := r.Lane(LaneControl).BeginSpan(SpanWindow, exec.ID())
+	win.End()
+	exec.End()
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("Spans() = %d spans, want 4: %+v", len(spans), spans)
+	}
+	byKind := map[string]SpanInfo{}
+	for _, s := range spans {
+		byKind[s.Kind] = s
+	}
+	if byKind["admission"].Parent != root.ID() || byKind["execute"].Parent != root.ID() {
+		t.Errorf("admission/execute not parented under invocation: %+v", spans)
+	}
+	if byKind["window"].Parent != exec.ID() {
+		t.Errorf("window parent = %d, want execute %d", byKind["window"].Parent, exec.ID())
+	}
+	if byKind["window"].Lane != LaneControl {
+		t.Errorf("window lane = %d, want LaneControl", byKind["window"].Lane)
+	}
+	for k, s := range byKind {
+		if s.EndNs == 0 || s.EndNs < s.StartNs {
+			t.Errorf("%s: interval [%d, %d] not closed/ordered", k, s.StartNs, s.EndNs)
+		}
+	}
+	if byKind["invocation"].EndNs < byKind["window"].EndNs {
+		t.Errorf("root closed before child: %+v", spans)
+	}
+
+	// Disabled paths: nil lane and the zero Span are no-ops.
+	var nilLane *ThreadTrace
+	s := nilLane.BeginSpan(SpanCompile, 7)
+	if s.ID() != 0 {
+		t.Errorf("nil lane span id = %d, want 0", s.ID())
+	}
+	s.End()
+	var nilRec *Recorder
+	nilRec.SetInvocation("x")
+	nilRec.Reset()
+	if nilRec.Invocation() != "" || nilRec.Spans() != nil {
+		t.Error("nil recorder not inert")
+	}
+}
+
+// TestRecorderReset pins the pooling contract: Reset rewinds counters,
+// span ids, and the invocation label while reusing lane rings.
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorderCap(32)
+	r.SetInvocation("inv-1")
+	lane := r.Lane(LaneRequest)
+	lane.BeginSpan(SpanInvocation, 0).End()
+	lane.Emit(KindMisspec, 1, 0, 4)
+	if s := r.Summary(); s.Events == 0 {
+		t.Fatal("no events before reset")
+	}
+
+	r.Reset()
+	if r.Invocation() != "" {
+		t.Errorf("invocation survived reset: %q", r.Invocation())
+	}
+	if s := r.Summary(); s.Events != 0 || s.Counts[KindMisspec] != 0 {
+		t.Errorf("summary not reset: %+v", s)
+	}
+	if len(r.Spans()) != 0 {
+		t.Errorf("spans survived reset: %+v", r.Spans())
+	}
+	// Lane handles stay valid and span ids restart.
+	sp := lane.BeginSpan(SpanInvocation, 0)
+	if sp.ID() != 1 {
+		t.Errorf("span id after reset = %d, want 1", sp.ID())
+	}
+	sp.End()
+	if got := len(r.Spans()); got != 1 {
+		t.Errorf("spans after reset = %d, want 1", got)
+	}
+}
+
+// TestChromeSpansAndProcs checks that spans export as balanced B/E pairs
+// named by their kind, the invocation labels the process track, and the
+// multi-process writer keeps per-(pid,tid) validation happy.
+func TestChromeSpansAndProcs(t *testing.T) {
+	r := NewRecorderCap(64)
+	r.SetInvocation("inv-42")
+	lane := r.Lane(LaneRequest)
+	root := lane.BeginSpan(SpanInvocation, 0)
+	c := lane.BeginSpan(SpanCacheLookup, root.ID())
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{`"invocation"`, `"cache.lookup"`, "invocation inv-42", `"request"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome output missing %s:\n%s", want, out)
+		}
+	}
+
+	// Two invocations as separate process tracks, deliberately reusing
+	// the same lanes so only the (pid, tid) keying keeps them balanced.
+	r2 := NewRecorderCap(64)
+	l2 := r2.Lane(LaneRequest)
+	root2 := l2.BeginSpan(SpanInvocation, 0)
+	root2.End()
+
+	var mp bytes.Buffer
+	err := WriteChromeProcs(&mp, []ChromeProc{
+		{PID: 0, Name: "invocation inv-42", Events: r.Events()},
+		{PID: 1, Name: "invocation inv-43", Events: r2.Events()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(mp.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome(procs): %v\n%s", err, mp.String())
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(mp.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	names := map[int]string{}
+	for _, e := range f.TraceEvents {
+		if e.Name == "process_name" {
+			names[e.PID], _ = e.Args["name"].(string)
+		}
+	}
+	if names[0] != "invocation inv-42" || names[1] != "invocation inv-43" {
+		t.Errorf("process names = %v", names)
+	}
+}
+
+// TestLiveMetricsPrefilterSplit pins the hit/miss derivation from the
+// KindSigPrefilter counters: A carries the hit flag, so hits = Sums and
+// misses = Counts - Sums.
+func TestLiveMetricsPrefilterSplit(t *testing.T) {
+	r := NewRecorderCap(32)
+	lane := r.Lane(LaneCheckerBase)
+	lane.Emit(KindSigPrefilter, 1, 0, 0) // hit
+	lane.Emit(KindSigPrefilter, 0, 1, 0) // miss
+	lane.Emit(KindSigPrefilter, 0, 2, 0) // miss
+	g := r.LiveMetrics()
+	if got := g.Counter("sig.prefilter.hit"); got != 1 {
+		t.Errorf("hit = %d, want 1", got)
+	}
+	if got := g.Counter("sig.prefilter.miss"); got != 2 {
+		t.Errorf("miss = %d, want 2", got)
+	}
+}

@@ -123,8 +123,11 @@ const (
 	KindEngineSwitch
 	// KindSigPrefilter marks one checker union pre-filter test: the
 	// arriving signature against the running union of a (worker, epoch)
-	// log row. A=logged row's lane, B=relative epoch, C=1 if the row
-	// passed the filter (a precise per-task scan followed), else 0.
+	// log row. A=1 if the row passed the filter (a precise per-task scan
+	// followed), else 0 — so Sums[KindSigPrefilter] is the exact hit
+	// count and Counts[KindSigPrefilter] the total tests, the
+	// checker-pressure signal the adaptive monitor samples. B=logged
+	// row's lane, C=relative epoch.
 	KindSigPrefilter
 	// KindCkptDelta marks an incremental checkpoint: the base image was
 	// refreshed for the segment's dirty cells only. A=#cells refreshed,
@@ -136,6 +139,12 @@ const (
 	// B=start epoch. Always paired with the KindRestore event of the
 	// same abort.
 	KindDeltaRestore
+	// KindSpanBegin/KindSpanEnd delimit one request-scoped span (see
+	// span.go): a named stage of a daemon invocation (admission, cache
+	// lookup, profile, window, …). A=span id (unique per recorder),
+	// B=parent span id (0 = root), C=SpanKind code.
+	KindSpanBegin
+	KindSpanEnd
 
 	// KindCount is the number of event kinds (not itself a kind).
 	KindCount
@@ -176,6 +185,8 @@ var kindNames = [KindCount]string{
 	KindSigPrefilter:     "sig.prefilter",
 	KindCkptDelta:        "checkpoint.delta",
 	KindDeltaRestore:     "restore.delta",
+	KindSpanBegin:        "span.begin",
+	KindSpanEnd:          "span.end",
 }
 
 func (k Kind) String() string {
@@ -197,6 +208,11 @@ const (
 	// LaneCheckerBase is the first SPECCROSS checker shard; shard s uses
 	// lane LaneCheckerBase - s.
 	LaneCheckerBase = -3
+	// LaneRequest is the daemon's request lane: the goroutine serving one
+	// /run invocation emits its lifecycle spans (admission, cache lookup,
+	// analysis stages) here. Far below the checker range so any realistic
+	// shard count stays clear of it.
+	LaneRequest = -1000
 )
 
 // LaneName renders a lane identifier for human-readable output.
@@ -208,6 +224,8 @@ func LaneName(lane int32) string {
 		return "scheduler"
 	case lane == LaneControl:
 		return "control"
+	case lane == LaneRequest:
+		return "request"
 	default:
 		return "checker " + itoa(int64(LaneCheckerBase-lane))
 	}
@@ -258,6 +276,13 @@ type Recorder struct {
 	ringCap int
 	hook    Hook
 
+	// invocation labels the recorder with the request it is scoped to
+	// (empty outside the daemon); spanID allocates span identifiers.
+	// Both follow the same quiescence rules as hook: SetInvocation and
+	// Reset only while no thread emits.
+	invocation string
+	spanID     atomic.Int64
+
 	mu    sync.Mutex
 	lanes map[int32]*ThreadTrace
 }
@@ -306,6 +331,50 @@ func (r *Recorder) SetHook(fn Hook) {
 		return
 	}
 	r.hook = fn
+}
+
+// SetInvocation labels the recorder with the request id it is scoped to.
+// Like SetHook it is only safe while the recorder is quiescent. A nil
+// receiver ignores the call.
+func (r *Recorder) SetInvocation(id string) {
+	if r == nil {
+		return
+	}
+	r.invocation = id
+}
+
+// Invocation returns the label set by SetInvocation ("" when unset or on
+// a nil recorder).
+func (r *Recorder) Invocation() string {
+	if r == nil {
+		return ""
+	}
+	return r.invocation
+}
+
+// Reset rewinds the recorder to an empty state while keeping its lanes
+// and their ring allocations, so a pool of per-request recorders reuses
+// buffers instead of reallocating them. The clock restarts (event Nanos
+// are relative to the Reset), span ids restart from 1, and the
+// invocation label clears; the hook is kept. Only legal while the
+// recorder is quiescent — the daemon calls it between invocations, after
+// the previous request fully drained. A nil receiver ignores the call.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.lanes {
+		for k := Kind(0); k < KindCount; k++ {
+			t.counts[k].Store(0)
+			t.sums[k].Store(0)
+		}
+		t.n.Store(0)
+	}
+	r.start = time.Now()
+	r.spanID.Store(0)
+	r.invocation = ""
 }
 
 // now returns nanoseconds since the recorder was constructed.
@@ -441,6 +510,27 @@ func (r *Recorder) Events() []Event {
 	var out []Event
 	for _, t := range r.laneList() {
 		out = append(out, t.events()...)
+	}
+	return out
+}
+
+// SpanEvents returns only the surviving span begin/end events, in the
+// same lane-grouped order as Events. It exists for the always-on flight
+// recorder: extracting a request's span skeleton (dozens of events)
+// without materializing its full engine stream (potentially the whole
+// ring) keeps the per-invocation retention cost independent of event
+// volume.
+func (r *Recorder) SpanEvents() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, t := range r.laneList() {
+		for _, e := range t.events() {
+			if e.Kind == KindSpanBegin || e.Kind == KindSpanEnd {
+				out = append(out, e)
+			}
+		}
 	}
 	return out
 }

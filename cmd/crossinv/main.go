@@ -7,10 +7,12 @@
 //
 //	crossinv [flags] <program.lnl>
 //
-//	-mode     seq | barrier | domore | speccross | adaptive | all   (default all)
+//	-mode     seq | barrier | domore | domore-sharded | speccross | adaptive
+//	          | all   (default all)
 //	-engine   alias of -mode (the adaptive-runtime docs use this name; an
 //	          explicit -mode that disagrees with -engine is an error)
 //	-workers  worker thread count (default 4)
+//	-lanes    scheduler lane count for domore-sharded (0: runtime default)
 //	-region   candidate region index (default: last detected)
 //	-report   print the per-region analysis report and exit
 //	-analyze  print the cross-invocation dependence report (distance and
@@ -74,9 +76,10 @@ import (
 )
 
 var (
-	mode    = flag.String("mode", "all", "execution mode: seq|barrier|domore|speccross|adaptive|all")
+	mode    = flag.String("mode", "all", "execution mode: seq|barrier|domore|domore-sharded|speccross|adaptive|all")
 	engine  = flag.String("engine", "", "alias of -mode")
 	workers = flag.Int("workers", 4, "worker thread count")
+	lanes   = flag.Int("lanes", 0, "scheduler lane count for domore-sharded (0: runtime default)")
 	region  = flag.Int("region", -1, "candidate region index (-1: last)")
 	report  = flag.Bool("report", false, "print the analysis report and exit")
 	analyze = flag.Bool("analyze", false, "print the cross-invocation dependence report and exit")
@@ -242,6 +245,16 @@ func main() {
 			fmt.Printf("%-10s checksum %016x  %v  (iterations %d, sync conditions %d, stalls %d)\n",
 				m, got, time.Since(start).Round(time.Microsecond),
 				res.Stats.Iterations, res.Stats.SyncConditions, res.Stats.Stalls)
+		case "domore-sharded":
+			res, err := c.RunDOMOREShardedOpts(target, domore.Options{Workers: *workers, Lanes: *lanes, Trace: rec})
+			if err != nil {
+				fmt.Printf("%-10s inapplicable: %v\n", m, err)
+				return
+			}
+			got = res.Env.Checksum()
+			fmt.Printf("%-10s checksum %016x  %v  (iterations %d, sync conditions %d, batches %d, lane waits %d)\n",
+				m, got, time.Since(start).Round(time.Microsecond),
+				res.Stats.Iterations, res.Stats.SyncConditions, res.Stats.Batches, res.Stats.LaneWaits)
 		case "speccross":
 			res, err := c.RunSpecCross(target, speccross.Config{
 				Workers: *workers, CheckpointEvery: *ckpt,
@@ -270,7 +283,7 @@ func main() {
 				return
 			}
 			got = res.Env.Checksum()
-			fmt.Printf("%-10s checksum %016x  %v  (windows %d, switches %d, engine windows [domore speccross barrier] %v)\n",
+			fmt.Printf("%-10s checksum %016x  %v  (windows %d, switches %d, engine windows [domore speccross barrier domore-sharded] %v)\n",
 				m, got, time.Since(start).Round(time.Microsecond),
 				res.Stats.Windows, res.Stats.Switches, res.Stats.EngineWindows)
 			if *explain {
@@ -286,6 +299,7 @@ func main() {
 	runAll := func() {
 		runMode("barrier")
 		runMode("domore")
+		runMode("domore-sharded")
 		runMode("speccross")
 		runMode("adaptive")
 	}
@@ -305,7 +319,7 @@ func main() {
 		runOnce = runSeq
 	case "all":
 		runOnce = runAll
-	case "barrier", "domore", "speccross", "adaptive":
+	case "barrier", "domore", "domore-sharded", "speccross", "adaptive":
 		runOnce = func() { runMode(*mode) }
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)

@@ -192,6 +192,9 @@ func cellSpecs(opts Options) []cellSpec {
 	for _, s := range seedSpecs(opts) {
 		add(s)
 	}
+	for _, s := range schedSpecs(opts) {
+		add(s)
+	}
 	for _, s := range daemonSpecs(opts) {
 		add(s)
 	}

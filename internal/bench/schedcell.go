@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"crossinv/internal/runtime/domore"
+	"crossinv/internal/runtime/trace"
+	"crossinv/internal/workloads"
+)
+
+// Scheduler cells isolate what the sharded DOMORE scheduler buys over the
+// single-threaded one: the same workload run through domore.Run (one
+// scheduler thread performs every ComputeAddr and every shadow
+// lookup/update serially) versus domore.RunSharded (the dependence
+// detection splits across scheduler lanes by address shard, and the
+// forwarded sync conditions publish in batches).
+//
+//	domore/sched.single  — domore.Run, the flat Algorithm-1 scheduler
+//	domore/sched.sharded — domore.RunSharded, schedLanes concurrent lanes
+//
+// The workload is scheduler-bound by construction: every iteration touches
+// schedAddrs addresses of a space sized so repeat touches (and therefore
+// sync conditions and worker stalls) are rare — dependence-wait critical
+// paths would bound both engines equally and bury the scheduler — its
+// ComputeAddr is a pure copy of a precomputed row (cheap enough that the
+// concurrent lanes' redundant address computation does not erase the
+// detection split), and Execute is a short private-cell spin. At ≥8
+// workers the worker side is far from the bottleneck and the scheduler's
+// serial detection loop is, which is exactly the regime the sharded
+// scheduler targets; TestSchedCellsGate holds the gap to the same
+// Mann-Whitney significance gate `bench -compare` applies between
+// snapshots.
+const (
+	schedInvs     = 48
+	schedIters    = 64
+	schedAddrs    = 32
+	schedSpace    = 1 << 22
+	schedCellLane = 4
+	schedSpin     = 300
+)
+
+// schedAddrRows holds the precomputed per-iteration address rows. They are
+// read-only after construction and identical for every sample, so one copy
+// serves all runs (ComputeAddr must be lane-pure anyway).
+var (
+	schedRowsOnce sync.Once
+	schedRows     [][]uint64
+)
+
+func schedAddrRows() [][]uint64 {
+	schedRowsOnce.Do(func() {
+		total := schedInvs * schedIters
+		flat := make([]uint64, total*schedAddrs)
+		schedRows = make([][]uint64, total)
+		for g := 0; g < total; g++ {
+			row := flat[g*schedAddrs : (g+1)*schedAddrs : (g+1)*schedAddrs]
+			for j := range row {
+				row[j] = workloads.Mix64(uint64(g*schedAddrs+j)+1) % schedSpace
+			}
+			schedRows[g] = row
+		}
+	})
+	return schedRows
+}
+
+// schedWorkload is the purpose-built scheduler-bound workload. The
+// addresses are virtual (only the scheduler sees them); Execute writes a
+// private output cell, so the run is deterministic and race-free under
+// any schedule the engines produce.
+type schedWorkload struct {
+	rows  [][]uint64
+	state []int64
+}
+
+func newSchedWorkload() *schedWorkload {
+	return &schedWorkload{rows: schedAddrRows(), state: make([]int64, schedInvs*schedIters)}
+}
+
+func (w *schedWorkload) Invocations() int       { return schedInvs }
+func (w *schedWorkload) Iterations(inv int) int { return schedIters }
+func (w *schedWorkload) Sequential(inv int)     {}
+
+// ComputeAddr is pure and cheap: a copy of the precomputed row. Safe for
+// the concurrent scheduler lanes (Options.ConcurrentAddr).
+func (w *schedWorkload) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
+	return append(buf, w.rows[inv*schedIters+iter]...)
+}
+
+func (w *schedWorkload) Execute(inv, iter, tid int) {
+	g := inv*schedIters + iter
+	v := int64(g)
+	for i := 0; i < schedSpin; i++ {
+		v = v*6364136223846793005 + 1442695040888963407
+	}
+	w.state[g] = v
+}
+
+func schedOptions(sharded bool, workers int, rec *trace.Recorder) domore.Options {
+	o := domore.Options{Workers: workers, Trace: rec}
+	if sharded {
+		o.Lanes = schedCellLane
+		o.ConcurrentAddr = true
+	}
+	return o
+}
+
+// schedSpecs builds the two cells. Each sample gets a fresh workload (the
+// engines build fresh shadow state per run anyway; the address rows are
+// shared and read-only).
+func schedSpecs(opts Options) []cellSpec {
+	var specs []cellSpec
+	for _, c := range []struct {
+		name    string
+		sharded bool
+	}{
+		{"sched.single", false},
+		{"sched.sharded", true},
+	} {
+		c := c
+		run := func(w *schedWorkload, o domore.Options) {
+			if c.sharded {
+				domore.RunSharded(w, o)
+			} else {
+				domore.Run(w, o)
+			}
+		}
+		specs = append(specs, cellSpec{
+			id: "domore/" + c.name, engine: "domore", workload: c.name,
+			prepare: func() func() {
+				w := newSchedWorkload()
+				o := schedOptions(c.sharded, opts.Workers, nil)
+				return func() { run(w, o) }
+			},
+			traced: func() (*trace.Recorder, time.Duration) {
+				w := newSchedWorkload()
+				rec := trace.NewRecorder()
+				o := schedOptions(c.sharded, opts.Workers, rec)
+				start := time.Now()
+				run(w, o)
+				return rec, time.Since(start)
+			},
+		})
+	}
+	return specs
+}

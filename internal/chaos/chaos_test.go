@@ -111,7 +111,7 @@ func TestParseFaultsAndMutation(t *testing.T) {
 	if _, err := ParseFaults("bogus", 0); err == nil {
 		t.Fatal("bogus fault accepted")
 	}
-	if all := AllFaults(1); all.String() != "queue-full,delay,sig-conflict,panic,timeout,torn-state,torn-delta" {
+	if all := AllFaults(1); all.String() != "queue-full,delay,sig-conflict,panic,timeout,torn-state,torn-delta,shard-skew" {
 		t.Fatalf("AllFaults string: %q", all.String())
 	}
 	if (FaultPlan{}).Active() || !AllFaults(0).Active() {

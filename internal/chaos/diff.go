@@ -14,7 +14,13 @@ import (
 
 // Engines lists the engines the differential runner exercises, in run
 // order.
-var Engines = []string{"barrier", "domore", "speccross", "adaptive"}
+var Engines = []string{"barrier", "domore", "domore-sharded", "speccross", "adaptive"}
+
+// shardLanes is the scheduler-lane count every sharded-scheduler run in
+// this package uses — the ShardSkew fault and the stale-shard-claim
+// mutation key their shard arithmetic on the same constant, so the lane
+// they target is the lane that actually runs.
+const shardLanes = 3
 
 // Options configures a differential run of one case.
 type Options struct {
@@ -170,6 +176,14 @@ func runEngine(spec *Spec, engine string, want []int64, opts Options) (fail *Fai
 	case "domore":
 		st := domore.Run(w, opts.Faults.Domore(domore.Options{Workers: opts.Workers, Trace: rec}))
 		detail = domoreInvariants(st, spec, rec)
+	case "domore-sharded":
+		st := domore.RunSharded(w, opts.Faults.Domore(domore.Options{
+			Workers: opts.Workers, Lanes: shardLanes, Batch: 8, Trace: rec,
+		}))
+		detail = domoreInvariants(st, spec, rec)
+		if detail == "" && rec != nil && rec.Summary().Counts[trace.KindShardChunk] == 0 {
+			detail = "domore-sharded emitted no shard-chunk events; scheduler lanes did not run"
+		}
 	case "speccross":
 		cfg := opts.Faults.Spec(speccross.Config{
 			Workers:         opts.Workers,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crossinv/internal/runtime/adaptive"
+	"crossinv/internal/runtime/shadow"
 	"crossinv/internal/runtime/signature"
 	"crossinv/internal/workloads/epochal"
 )
@@ -43,18 +44,27 @@ const (
 	// access sets. The soundness gate must catch the lie by observing a
 	// real cross-epoch conflict through shadow memory.
 	MutWidenStatic Mutation = "widen-static"
+	// MutStaleShardClaim models a sharded scheduler whose lanes claim
+	// stale shard ownership: ComputeAddr's result loses every address
+	// whose shard (shadow.ShardOf at the package's lane count) differs
+	// from the last address's shard — exactly a cross-shard dependence
+	// edge silently dropped at the shard boundary. Any scheduler that
+	// trusts the surviving addresses misses the dependence and forwards no
+	// sync condition, so the differential runner must observe a divergent
+	// final state.
+	MutStaleShardClaim Mutation = "stale-shard-claim"
 )
 
 // Mutations lists the non-empty mutation kinds.
 func Mutations() []Mutation {
-	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic}
+	return []Mutation{MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic, MutStaleShardClaim}
 }
 
 // ParseMutation validates a -mutate flag value.
 func ParseMutation(s string) (Mutation, error) {
 	m := Mutation(s)
 	switch m {
-	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic:
+	case MutNone, MutDropAddr, MutDropSigWrite, MutSkipRestore, MutSkipDeltaRestore, MutWidenStatic, MutStaleShardClaim:
 		return m, nil
 	}
 	return MutNone, fmt.Errorf("chaos: unknown mutation %q", s)
@@ -73,6 +83,11 @@ func (m Mutation) Faults() FaultPlan {
 		return FaultPlan{Panic: true, TornState: true}
 	case MutSkipDeltaRestore:
 		return FaultPlan{TornDelta: true}
+	case MutStaleShardClaim:
+		// The dropped edge diverges on its own, but skewing one scheduler
+		// lane maximizes the window in which the missing sync condition
+		// lets the reader overtake the writer.
+		return FaultPlan{ShardSkew: true}
 	}
 	return FaultPlan{}
 }
@@ -151,9 +166,23 @@ func (w *mutated) WriteCell(c uint64, v int64) {
 
 func (w *mutated) ComputeAddr(inv, iter int, buf []uint64) []uint64 {
 	out := w.k.ComputeAddr(inv, iter, buf)
-	if w.m == MutDropAddr && len(out) > 1 {
+	switch {
+	case w.m == MutDropAddr && len(out) > 1:
 		copy(out, out[1:])
 		out = out[:len(out)-1]
+	case w.m == MutStaleShardClaim && len(out) > 1:
+		// Keep only addresses sharing the last address's shard: the stale
+		// claim drops every cross-shard edge of the iteration (dropping by
+		// the first address's shard would spare the catcher case's reads,
+		// which precede the writes in ComputeAddr order).
+		want := shadow.ShardOf(out[len(out)-1], shardLanes)
+		kept := out[:0]
+		for _, a := range out {
+			if shadow.ShardOf(a, shardLanes) == want {
+				kept = append(kept, a)
+			}
+		}
+		out = kept
 	}
 	return out
 }

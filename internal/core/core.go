@@ -172,6 +172,17 @@ func (c *Compiled) RunDOMOREOpts(region *ir.Loop, opts domore.Options) (*DomoreR
 	return c.RunDOMOREPlanned(par, region, opts)
 }
 
+// RunDOMOREShardedOpts is RunDOMOREOpts on the sharded scheduler: the same
+// DOMORE plan executed by domore.RunSharded, which spreads the scheduler's
+// dependence detection over opts.Lanes lanes and batches sync conditions.
+func (c *Compiled) RunDOMOREShardedOpts(region *ir.Loop, opts domore.Options) (*DomoreResult, error) {
+	par, err := c.PlanDOMORE(region)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunDOMOREShardedPlanned(par, region, opts)
+}
+
 // SpecCrossResult is the outcome of a SPECCROSS execution.
 type SpecCrossResult struct {
 	Env     *interp.Env

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"crossinv/internal/raceflag"
+	"crossinv/internal/runtime/domore"
 	"crossinv/internal/runtime/speccross"
 )
 
@@ -139,6 +140,36 @@ func TestDOMOREMatchesSequentialCG(t *testing.T) {
 	// dependences must have been detected and synchronized.
 	if res.Stats.SyncConditions == 0 {
 		t.Fatal("expected dynamic synchronization conditions")
+	}
+}
+
+func TestDOMOREShardedMatchesSequentialCG(t *testing.T) {
+	c := compileT(t, cgLike)
+	want := seqChecksum(t, c)
+	region := c.Regions[len(c.Regions)-1]
+	res, err := c.RunDOMOREShardedOpts(region, domore.Options{Workers: 4, Lanes: 3, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Env.Checksum(); got != want {
+		t.Fatalf("domore-sharded checksum %x != sequential %x", got, want)
+	}
+	if res.Stats.Iterations == 0 {
+		t.Fatal("no iterations scheduled")
+	}
+	if res.Stats.SyncConditions == 0 {
+		t.Fatal("expected dynamic synchronization conditions")
+	}
+	// The sharded scheduler must reproduce the flat scheduler's schedule.
+	ref, err := c.RunDOMORE(region, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != ref.Stats.Iterations ||
+		res.Stats.Dispatches != ref.Stats.Dispatches ||
+		res.Stats.SyncConditions != ref.Stats.SyncConditions ||
+		res.Stats.AddrChecks != ref.Stats.AddrChecks {
+		t.Fatalf("sharded stats %+v diverge from flat %+v", res.Stats, ref.Stats)
 	}
 }
 

@@ -172,6 +172,24 @@ func (c *Compiled) RunDOMOREPlanned(par *mtcg.Parallelized, region *ir.Loop, opt
 	return &DomoreResult{Env: env, Stats: stats, Par: par}, nil
 }
 
+// RunDOMOREShardedPlanned is RunDOMOREPlanned on the sharded scheduler
+// (mtcg.Parallelized.RunSharded): same plan, same schedule, dependence
+// detection spread over scheduler lanes with batched condition queues.
+func (c *Compiled) RunDOMOREShardedPlanned(par *mtcg.Parallelized, region *ir.Loop, opts domore.Options) (*DomoreResult, error) {
+	env, finish, err := c.runOutside(region)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := par.RunSharded(env, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := finish(env); err != nil {
+		return nil, err
+	}
+	return &DomoreResult{Env: env, Stats: stats, Par: par}, nil
+}
+
 // Oracle runs the program sequentially and returns the checksum every
 // parallel strategy must reproduce. Programs are deterministic, so the
 // checksum is a pure function of the source — cacheable alongside the

@@ -63,7 +63,7 @@ func newServer(t *testing.T, cfg Config) *Server {
 // (speccross.DefaultProfileWindow), so no corpus program's cold profile is
 // quadratic anymore — the old profileHeavy carve-out for stencil.lnl is
 // retired.
-var allModes = []string{"barrier", "domore", "speccross", "adaptive", "auto"}
+var allModes = []string{"barrier", "domore", "domore-sharded", "speccross", "adaptive", "auto"}
 
 // TestModesMatchSequentialOverCorpus is the daemon-level equivalence
 // gate: every engine, on every corpus program, either matches the

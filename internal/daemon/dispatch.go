@@ -22,8 +22,8 @@ import (
 type RunRequest struct {
 	// Source is the LNL program text (required) — the content address.
 	Source string `json:"source"`
-	// Mode is seq, barrier, domore, speccross, adaptive, or auto (default
-	// auto: the profile-informed engine choice).
+	// Mode is seq, barrier, domore, domore-sharded, speccross, adaptive, or
+	// auto (default auto: the profile-informed engine choice).
 	Mode string `json:"mode,omitempty"`
 	// Workers overrides the daemon's default engine worker count.
 	Workers int `json:"workers,omitempty"`
@@ -434,7 +434,7 @@ func (s *Server) execute(req *RunRequest, inv *invocation) (*RunResponse, int) {
 		mode = "auto"
 	}
 	switch mode {
-	case "seq", "barrier", "domore", "speccross", "adaptive", "auto":
+	case "seq", "barrier", "domore", "domore-sharded", "speccross", "adaptive", "auto":
 	default:
 		return fail(400, "unknown mode %q", mode)
 	}
@@ -562,6 +562,21 @@ func (s *Server) execute(req *RunRequest, inv *invocation) (*RunResponse, int) {
 			return fail(422, "domore plan: %v", e)
 		}
 		res, e := c.RunDOMOREPlanned(par, region, domore.Options{Workers: workers, Trace: inv.rec})
+		if e != nil {
+			rerr = e
+		} else {
+			sum = res.Env.Checksum()
+		}
+	case "domore-sharded":
+		psp := inv.span(trace.SpanPlan)
+		par, e := rp.ensureDomorePlan(s, c, regionIdx, st)
+		psp.End()
+		if e != nil {
+			esp.End()
+			resp.AnalysisSpans = st.total()
+			return fail(422, "domore plan: %v", e)
+		}
+		res, e := c.RunDOMOREShardedPlanned(par, region, domore.Options{Workers: workers, Trace: inv.rec})
 		if e != nil {
 			rerr = e
 		} else {

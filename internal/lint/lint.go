@@ -6,9 +6,9 @@
 // keeps the tool dependency-free.
 //
 // Rule stats-atomic: inside the engine packages (domore, speccross) every
-// write to a Stats field that concurrent goroutines share — Stalls and
-// RangeStalls per the audited concurrency contract on domore.Stats — must
-// go through atomic.AddInt64. A plain `stats.Stalls++` inside an engine is
+// write to a Stats field that concurrent goroutines share — Stalls,
+// RangeStalls, and LaneWaits per the audited concurrency contract on
+// domore.Stats — must go through atomic.AddInt64. A plain `stats.Stalls++` inside an engine is
 // a data race the race detector only catches when a schedule happens to
 // expose it; this pass catches it on every build.
 //
@@ -49,6 +49,9 @@ var atomicStatsFields = map[string]bool{
 	"RangeStalls":     true,
 	"PrefilterChecks": true,
 	"PrefilterHits":   true,
+	// LaneWaits is written by every scheduler lane of the sharded DOMORE
+	// scheduler while the driver runs; like Stalls it crosses goroutines.
+	"LaneWaits": true,
 }
 
 // enginePackages scopes the stats-atomic rule: only inside the engines do

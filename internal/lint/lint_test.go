@@ -35,24 +35,28 @@ func TestStatsAtomicFlagsPlainWrites(t *testing.T) {
 
 import "sync/atomic"
 
-type Stats struct{ Stalls, RangeStalls, Iterations int64 }
+type Stats struct{ Stalls, RangeStalls, LaneWaits, Iterations, Batches int64 }
 
 func bad(s *Stats) {
 	s.Stalls++                   // flagged: increment
 	s.Stalls = s.Stalls + 1      // flagged: assignment
 	s.RangeStalls += 2           // flagged: compound assignment
+	s.LaneWaits++                // flagged: scheduler-lane field
 	s.Iterations++               // fine: single-writer field
+	s.Batches++                  // fine: driver-only field
 	_ = s.Stalls                 // fine: read
 	atomic.AddInt64(&s.Stalls, 1) // fine: the required idiom
+	atomic.AddInt64(&s.LaneWaits, 1) // fine: the required idiom
 }
 `
 	ds := check(t, "domore", src)
-	if got := len(ds); got != 3 {
-		t.Fatalf("want 3 diagnostics, got %d: %v", got, ds)
+	if got := len(ds); got != 4 {
+		t.Fatalf("want 4 diagnostics, got %d: %v", got, ds)
 	}
 	wantRule(t, ds, "stats-atomic", "increment of audited Stats field Stalls")
 	wantRule(t, ds, "stats-atomic", "assignment of audited Stats field Stalls")
 	wantRule(t, ds, "stats-atomic", "assignment of audited Stats field RangeStalls")
+	wantRule(t, ds, "stats-atomic", "increment of audited Stats field LaneWaits")
 }
 
 func TestStatsAtomicScopedToEnginePackages(t *testing.T) {

@@ -206,12 +206,21 @@ func runWindows(w Workload, cfg Config, epochs int) Stats {
 			for e := lo; e < hi; e++ {
 				sample.Tasks += int64(w.Tasks(e))
 			}
-		case EngineDomore:
+		case EngineDomore, EngineDomoreSharded:
 			opts := cfg.Domore
 			opts.Workers = cfg.Workers
 			opts.Shadow = shadow.NewSparse()
 			opts.Trace = cfg.Trace
-			st := domore.Run(win, opts)
+			var st domore.Stats
+			if engine == EngineDomoreSharded {
+				// The sharded scheduler builds its own per-shard stores; the
+				// serial address mode is the default because not every
+				// adaptive workload's ComputeAddr is lane-concurrent (the
+				// interpreter-backed regions share one replay environment).
+				st = domore.RunSharded(win, opts)
+			} else {
+				st = domore.Run(win, opts)
+			}
 			addDomore(&stats.Domore, st)
 			sample.Tasks = st.Iterations
 			if st.Iterations > 0 {
@@ -309,7 +318,9 @@ func applyTraceSample(sample *Sample, engine Engine, before, after trace.Summary
 	switch engine {
 	case EngineBarrier:
 		sample.Tasks = d(trace.KindIterEnd)
-	case EngineDomore:
+	case EngineDomore, EngineDomoreSharded:
+		// The sharded driver emits the same scheduler-lane kinds as the
+		// single scheduler, so the derivation is shared.
 		sample.Tasks = d(trace.KindSchedule)
 		if sample.Tasks > 0 {
 			sample.ManifestRate = float64(d(trace.KindSyncCond)) / float64(sample.Tasks)
@@ -390,6 +401,8 @@ func addDomore(dst *domore.Stats, s domore.Stats) {
 	dst.SyncConditions += s.SyncConditions
 	dst.Stalls += s.Stalls
 	dst.AddrChecks += s.AddrChecks
+	dst.Batches += s.Batches
+	dst.LaneWaits += s.LaneWaits
 }
 
 func addSpec(dst *speccross.Stats, s speccross.Stats) {

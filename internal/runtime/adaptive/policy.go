@@ -18,6 +18,11 @@ const (
 	EngineSpecCross
 	// EngineBarrier is the pthread-barrier baseline.
 	EngineBarrier
+	// EngineDomoreSharded is DOMORE with the sharded scheduler and batched
+	// condition queues (domore.RunSharded): the same schedule as
+	// EngineDomore with the scheduler's dependence detection spread across
+	// lanes, so it is a legal quiesce-point target wherever DOMORE is.
+	EngineDomoreSharded
 	// NumEngines is the number of selectable engines.
 	NumEngines
 )
@@ -29,6 +34,8 @@ func (e Engine) String() string {
 		return "barrier"
 	case EngineDomore:
 		return "domore"
+	case EngineDomoreSharded:
+		return "domore-sharded"
 	case EngineSpecCross:
 		return "speccross"
 	}
@@ -143,12 +150,15 @@ func (p *ThresholdPolicy) Decide(s Sample) Engine {
 		// scheduler measures the manifest rate directly.
 		p.lastReason = "barrier window carries no dependence signal; probing with domore"
 		return EngineDomore
-	case EngineDomore:
+	case EngineDomore, EngineDomoreSharded:
+		// The sharded scheduler produces DOMORE's exact schedule, so its
+		// windows carry the same manifest-rate signal; stay-decisions keep
+		// the caller's flavor rather than silently dropping the sharding.
 		if p.hold > 0 {
 			p.hold--
 			p.low = 0
-			p.lastReason = fmt.Sprintf("post-misspeculation backoff, holding domore (%d windows left)", p.hold)
-			return EngineDomore
+			p.lastReason = fmt.Sprintf("post-misspeculation backoff, holding %v (%d windows left)", s.Engine, p.hold)
+			return s.Engine
 		}
 		if s.ManifestRate <= p.SpecEnter {
 			p.low++
@@ -164,10 +174,10 @@ func (p *ThresholdPolicy) Decide(s Sample) Engine {
 		if s.ManifestRate <= p.SpecEnter {
 			p.lastReason = fmt.Sprintf("manifest rate %.3f qualifies but patience %d/%d not met", s.ManifestRate, p.low, p.Patience)
 		} else {
-			p.lastReason = fmt.Sprintf("manifest rate %.3f above spec-enter %.3f; dependences manifest, staying in domore",
-				s.ManifestRate, p.SpecEnter)
+			p.lastReason = fmt.Sprintf("manifest rate %.3f above spec-enter %.3f; dependences manifest, staying in %v",
+				s.ManifestRate, p.SpecEnter, s.Engine)
 		}
-		return EngineDomore
+		return s.Engine
 	case EngineSpecCross:
 		switch {
 		case s.Misspeculated:

@@ -19,6 +19,8 @@ func ParseEngine(name string) (Engine, bool) {
 	switch name {
 	case "domore":
 		return EngineDomore, true
+	case "domore-sharded":
+		return EngineDomoreSharded, true
 	case "speccross":
 		return EngineSpecCross, true
 	case "barrier":

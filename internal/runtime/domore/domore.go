@@ -77,11 +77,39 @@ type Options struct {
 	// sync-cond/dispatch records, queue-depth samples) and worker tid emits
 	// on lane tid (iteration spans, stall spans carrying the ⟨depTid,
 	// depIterNum⟩ condition, queue-empty backoff episodes). A nil Trace
-	// compiles the hot path down to nil-receiver no-ops. Only Run honors
-	// Trace; RunDuplicated and RunStealing ignore it — their replicated
+	// compiles the hot path down to nil-receiver no-ops. Run and RunSharded
+	// honor Trace (RunSharded additionally emits one KindShardChunk per
+	// chunk per scheduler lane on lanes trace.LaneShardBase - l);
+	// RunDuplicated and RunStealing ignore it — their replicated
 	// schedulers have no single scheduler lane, so their event streams
 	// would misattribute scheduling work (left to a future change).
 	Trace *trace.Recorder
+
+	// Lanes is the number of scheduler lanes RunSharded partitions shadow
+	// memory across (default 4). Ignored by the other entry points.
+	Lanes int
+	// Batch is RunSharded's chunk size: the number of iterations scheduled
+	// per lane handoff, and the granularity at which synchronization
+	// conditions are batched onto the worker queues (default 256).
+	Batch int
+	// NewShard, when set, constructs the shadow store for one shard of
+	// RunSharded's partitioned shadow memory; defaults to fresh Sparse
+	// stores. Use Dense sub-stores for compact integer address spaces.
+	// RunSharded ignores Shadow — the partition must be built per shard.
+	NewShard func(shard int) shadow.Store
+	// ConcurrentAddr lets RunSharded call ComputeAddr concurrently from
+	// every scheduler lane (each lane redundantly computes the full
+	// address set and keeps the addresses hashing to its shard), which
+	// removes the serial address computation entirely. It requires the
+	// same safety the concurrent replicas of RunDuplicated need — the
+	// documented ComputeAddr contract — which interpreter-backed workloads
+	// sharing one replay environment (mtcg, speccrossgen's DomoreView) do
+	// not meet. When false (the default), the driver computes each chunk's
+	// addresses serially into a reused arena and the lanes perform only
+	// the sharded dependence detection, which is always safe. With
+	// ConcurrentAddr, a stateful Policy requires NewPolicy, exactly like
+	// RunDuplicated (each lane replays assignments on a private instance).
+	ConcurrentAddr bool
 }
 
 func (o *Options) fill() {
@@ -106,8 +134,10 @@ func (o *Options) fill() {
 // under -race): while an engine runs, each field has exactly one writing
 // discipline. Fields written only by the single scheduler goroutine use
 // plain increments (all but Stalls in Run; AddrChecks, Iterations, and
-// SyncConditions in RunStealing's sequential precompute); fields written by
-// concurrent goroutines use atomic.AddInt64 (Stalls in every engine,
+// SyncConditions in RunStealing's sequential precompute; every field but
+// Stalls and LaneWaits in RunSharded, whose driver alone merges lane
+// results); fields written by concurrent goroutines use atomic.AddInt64
+// (Stalls in every engine, LaneWaits in RunSharded's scheduler lanes,
 // Dispatches in RunStealing, every field in RunDuplicated, whose scheduler
 // is replicated per worker). A field is never written through both
 // disciplines in one run, and the returned Stats is read only after all
@@ -127,6 +157,17 @@ type Stats struct {
 	Stalls int64
 	// AddrChecks counts shadow-memory lookups performed by the scheduler.
 	AddrChecks int64
+	// Batches counts batched queue publications by RunSharded's driver:
+	// each is one ProduceBatch flush of a worker's buffered conditions and
+	// dispatches. Deterministic for a given workload and options (flushes
+	// happen at chunk boundaries and when the iteration-order publication
+	// invariant forces one); zero under the other entry points.
+	Batches int64
+	// LaneWaits counts chunk-handoff wait episodes in RunSharded's
+	// scheduler lanes: a lane found its next chunk not yet published and
+	// spun. Timing-dependent (like Stalls); zero under the other entry
+	// points.
+	LaneWaits int64
 }
 
 // message kinds carried on the scheduler→worker queues.

@@ -1,0 +1,481 @@
+package domore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"crossinv/internal/runtime/queue"
+	"crossinv/internal/runtime/sched"
+	"crossinv/internal/runtime/shadow"
+	"crossinv/internal/runtime/trace"
+)
+
+// This file implements the sharded DOMORE scheduler (ROADMAP item 2): the
+// paper names the single scheduler thread as the engine's scalability
+// ceiling (§3.3.3), because it serializes computeAddr, every shadow-memory
+// operation, and one queue produce per condition. RunSharded removes all
+// three serial costs while preserving Run's schedule exactly:
+//
+//   - Shadow memory is partitioned by address hash (shadow.Sharded) across
+//     N scheduler lanes. Each lane owns one shard and performs dependence
+//     detection for exactly the addresses hashing to it, so per address the
+//     lookup/update sequence is identical to the single scheduler's — the
+//     shard-ownership invariant (see internal/runtime/shadow/sharded.go).
+//   - Lanes work chunk-at-a-time: the driver publishes a chunk of
+//     iterations, the lanes detect dependences for their shards in
+//     parallel, and the driver merges the per-lane conditions back into
+//     iteration order. With Options.ConcurrentAddr the lanes also compute
+//     the address sets (redundantly, like the duplicated scheduler of
+//     §3.4); otherwise the driver precomputes them into a reused arena.
+//   - Synchronization conditions and dispatch records are buffered per
+//     worker and published with queue.ProduceBatch, amortizing the queue's
+//     index publication over the chunk instead of paying it per iteration.
+//
+// Batching must not reorder the schedule's liveness argument: Run's
+// correctness rests on the fact that when a worker receives a condition
+// referencing ⟨depTid, depIter⟩, the kindRun for depIter is already in
+// depTid's queue (the scheduler produced it in an earlier iteration).
+// Naive per-chunk flushing breaks this — a worker can stall on a condition
+// whose prerequisite dispatch is still sitting in the driver's buffer
+// while the driver spins on that worker's full queue. The driver therefore
+// maintains the iteration-order publication invariant: before buffering a
+// condition that references worker u, it flushes u's entire buffer (which
+// by iteration order already holds depIter's dispatch if it is
+// unpublished). Dependence-free stretches still get exactly one
+// publication per worker per chunk; each manifested dependence forces at
+// most one early flush, bounded by SyncConditions.
+
+// defaults for the sharded scheduler knobs (Options.Lanes, Options.Batch).
+const (
+	defaultLanes = 4
+	defaultBatch = 256
+
+	// batchConsume is the worker-side batch: how many messages one
+	// TryConsumeBatch drains per head publication.
+	batchConsume = 64
+)
+
+// laneCond is one dependence a scheduler lane detected: iteration it (a
+// chunk-relative index) executed by accessor must wait for depTid to
+// finish depIter. Lanes append them in iteration order, which is what lets
+// the driver merge the per-lane lists with one cursor each.
+type laneCond struct {
+	it       int32
+	accessor int32
+	depTid   int32
+	depIter  int64
+}
+
+// shardChunk is the driver↔lane handoff record. The driver fills the
+// bounds (and, without ConcurrentAddr, the address arena and assignments)
+// before publishing the chunk's sequence number; lanes only read those
+// fields. With ConcurrentAddr lane 0 instead records counts/tids/tidOff —
+// it is the recording lane — between the publish and its completion store,
+// so the driver may read them after every lane has completed. All slices
+// are reused across chunks; the steady state allocates nothing.
+type shardChunk struct {
+	stop    bool
+	inv     int32
+	it0     int32 // first inner-loop index of the chunk
+	n       int32 // iterations in the chunk
+	iterNum int64 // combined iteration number of the first
+
+	counts []int64 // per-iteration address count (KindAddrCheck arg)
+	tids   []int32 // flat per-iteration assigned workers
+	tidOff []int32 // len n+1 offsets into tids
+
+	addrs   []uint64 // serial mode: flat per-iteration address arena
+	addrOff []int32  // len n+1 offsets into addrs
+}
+
+// shardLane is one scheduler lane's handoff state. ready and done are
+// sequence numbers (driver publishes ready, lane publishes done); the
+// padding keeps the two spin targets off each other's cache lines.
+type shardLane struct {
+	ready atomic.Int64
+	_     [56]byte
+	done  atomic.Int64
+	_     [56]byte
+	conds []laneCond // lane output for the current chunk
+}
+
+// shardedRun carries the driver's merge state so the helpers share it
+// without re-threading a dozen parameters.
+type shardedRun struct {
+	w          Workload
+	opts       *Options
+	nw         int
+	concurrent bool
+	store      *shadow.Sharded
+	newPolicy  func() sched.Policy
+	owner      *sched.LocalWrite // serial mode: shared, Owner is pure
+	multiOwner bool
+	ch         *shardChunk
+	lanes      []shardLane
+	queues     []*queue.SPSC[cond]
+	stats      *Stats
+	sch        *trace.ThreadTrace
+	pending    [][]cond // per-worker conditions for the current iteration
+	outbuf     [][]cond // per-worker buffered (unpublished) messages
+	cursor     []int    // per-lane merge cursor into lane conds
+	scratch    []uint64 // serial mode: ComputeAddr scratch, copied to the arena
+}
+
+// RunSharded executes the workload under DOMORE with the sharded scheduler
+// and batched condition queues. It produces the same schedule as Run — the
+// same iterations, dispatches, synchronization conditions, and shadow
+// lookups, which the workloadtest equivalence suite asserts field by field
+// — with the scheduler's dependence detection spread across Options.Lanes
+// concurrent lanes. Stalls and LaneWaits remain timing-dependent.
+func RunSharded(w Workload, opts Options) Stats {
+	opts.fill()
+	if opts.Lanes <= 0 {
+		opts.Lanes = defaultLanes
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = defaultBatch
+	}
+	nw := opts.Workers
+
+	d := &shardedRun{
+		w:          w,
+		opts:       &opts,
+		nw:         nw,
+		concurrent: opts.ConcurrentAddr,
+		store:      shadow.NewSharded(opts.Lanes, opts.NewShard),
+		ch:         &shardChunk{},
+		lanes:      make([]shardLane, opts.Lanes),
+		queues:     make([]*queue.SPSC[cond], nw),
+		stats:      &Stats{},
+		pending:    make([][]cond, nw),
+		outbuf:     make([][]cond, nw),
+		cursor:     make([]int, opts.Lanes),
+	}
+	d.sch = opts.Trace.Lane(trace.LaneScheduler)
+	if d.concurrent {
+		d.newPolicy = opts.NewPolicy
+		if d.newPolicy == nil {
+			d.newPolicy = func() sched.Policy { return sched.NewRoundRobin() }
+		}
+	} else {
+		d.owner, d.multiOwner = opts.Policy.(*sched.LocalWrite)
+	}
+	for i := range d.queues {
+		d.queues[i] = queue.NewSPSC[cond](opts.QueueCap)
+	}
+	latestFinished := make([]paddedInt64, nw)
+	for i := range latestFinished {
+		latestFinished[i].v.Store(-1)
+	}
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < nw; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			trace.Labeled("domore", "worker", func() {
+				workerBatched(w, tid, d.queues[tid], latestFinished, d.stats, opts.Trace.Lane(int32(tid)))
+			})
+		}(tid)
+	}
+	for l := 0; l < opts.Lanes; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			trace.Labeled("domore", "sched-lane", func() {
+				d.lane(l)
+			})
+		}(l)
+	}
+
+	trace.Labeled("domore", "scheduler", func() {
+		d.drive()
+	})
+	wg.Wait()
+	return *d.stats
+}
+
+// drive is the sharded scheduler's main loop: sequential regions, chunk
+// handoff, merge, and batched publication.
+func (d *shardedRun) drive() {
+	w, ch := d.w, d.ch
+	seq := int64(0)
+	iterNum := int64(0)
+	invocations := w.Invocations()
+	for inv := 0; inv < invocations; inv++ {
+		w.Sequential(inv)
+		iters := w.Iterations(inv)
+		d.sch.Emit(trace.KindEpochBegin, int64(inv), int64(inv+1), 0)
+		for it0 := 0; it0 < iters; it0 += d.opts.Batch {
+			n := iters - it0
+			if n > d.opts.Batch {
+				n = d.opts.Batch
+			}
+			ch.inv, ch.it0, ch.n, ch.iterNum = int32(inv), int32(it0), int32(n), iterNum
+			if !d.concurrent {
+				d.prepareSerial()
+			}
+			seq++
+			for l := range d.lanes {
+				d.lanes[l].ready.Store(seq)
+			}
+			for l := range d.lanes {
+				for spins := 0; d.lanes[l].done.Load() < seq; spins++ {
+					queue.Backoff(spins)
+				}
+			}
+			d.merge()
+			iterNum += int64(n)
+		}
+		d.sch.Emit(trace.KindEpochCommit, 1, int64(inv), int64(inv+1))
+	}
+	// Stop the lanes, then publish the end tokens.
+	ch.stop = true
+	seq++
+	for l := range d.lanes {
+		d.lanes[l].ready.Store(seq)
+	}
+	for l := range d.lanes {
+		for spins := 0; d.lanes[l].done.Load() < seq; spins++ {
+			queue.Backoff(spins)
+		}
+	}
+	for t := range d.outbuf {
+		d.outbuf[t] = append(d.outbuf[t], cond{Kind: kindEnd})
+		d.flush(t)
+	}
+}
+
+// prepareSerial fills the chunk's address arena and worker assignments on
+// the driver (the always-safe path for workloads whose ComputeAddr shares
+// state, e.g. the interpreter-backed regions). The Policy sees the exact
+// call sequence Run would make.
+func (d *shardedRun) prepareSerial() {
+	ch := d.ch
+	ch.counts = ch.counts[:0]
+	ch.tids = ch.tids[:0]
+	ch.tidOff = append(ch.tidOff[:0], 0)
+	ch.addrs = ch.addrs[:0]
+	ch.addrOff = append(ch.addrOff[:0], 0)
+	for k := int32(0); k < ch.n; k++ {
+		start := len(ch.addrs)
+		// ComputeAddr may return a private buffer instead of appending to
+		// the one passed (the interpreter-backed workloads do), so copy the
+		// result into the chunk arena rather than aliasing it.
+		d.scratch = d.w.ComputeAddr(int(ch.inv), int(ch.it0+k), d.scratch[:0])
+		ch.addrs = append(ch.addrs, d.scratch...)
+		ch.addrOff = append(ch.addrOff, int32(len(ch.addrs)))
+		ch.counts = append(ch.counts, int64(len(ch.addrs)-start))
+		tids := d.opts.Policy.Assign(ch.iterNum+int64(k), ch.addrs[start:], d.nw)
+		for _, t := range tids {
+			ch.tids = append(ch.tids, int32(t))
+		}
+		ch.tidOff = append(ch.tidOff, int32(len(ch.tids)))
+	}
+}
+
+// lane is one scheduler lane: it processes every chunk in order but
+// performs shadow lookups and updates only for the addresses hashing to
+// its shard, appending detected dependences in iteration order.
+func (d *shardedRun) lane(l int) {
+	ls := &d.lanes[l]
+	lt := d.opts.Trace.Lane(int32(trace.LaneShardBase - l))
+	myShard := d.store.Shard(l)
+	nl := len(d.lanes)
+	nw := d.nw
+	ch := d.ch
+
+	var pol sched.Policy
+	owner, multiOwner := d.owner, d.multiOwner
+	if d.concurrent {
+		pol = d.newPolicy()
+		owner, multiOwner = pol.(*sched.LocalWrite)
+	}
+	recording := d.concurrent && l == 0
+
+	var buf []uint64
+	for seq := int64(1); ; seq++ {
+		if ls.ready.Load() < seq {
+			atomic.AddInt64(&d.stats.LaneWaits, 1)
+			for spins := 0; ls.ready.Load() < seq; spins++ {
+				queue.Backoff(spins)
+			}
+		}
+		if ch.stop {
+			ls.done.Store(seq)
+			return
+		}
+		ls.conds = ls.conds[:0]
+		if recording {
+			ch.counts = ch.counts[:0]
+			ch.tids = ch.tids[:0]
+			ch.tidOff = append(ch.tidOff[:0], 0)
+		}
+		for k := int32(0); k < ch.n; k++ {
+			iterNum := ch.iterNum + int64(k)
+			var addrs []uint64
+			var t0 int32
+			var nt int
+			if d.concurrent {
+				buf = d.w.ComputeAddr(int(ch.inv), int(ch.it0+k), buf[:0])
+				addrs = buf
+				tids := pol.Assign(iterNum, addrs, nw)
+				t0, nt = int32(tids[0]), len(tids)
+				if recording {
+					ch.counts = append(ch.counts, int64(len(addrs)))
+					for _, t := range tids {
+						ch.tids = append(ch.tids, int32(t))
+					}
+					ch.tidOff = append(ch.tidOff, int32(len(ch.tids)))
+				}
+			} else {
+				addrs = ch.addrs[ch.addrOff[k]:ch.addrOff[k+1]]
+				t0 = ch.tids[ch.tidOff[k]]
+				nt = int(ch.tidOff[k+1] - ch.tidOff[k])
+			}
+			for _, a := range addrs {
+				if shadow.ShardOf(a, nl) != l {
+					continue
+				}
+				accessor := t0
+				if multiOwner && nt > 1 {
+					accessor = int32(owner.Owner(a, nw))
+				}
+				dep := myShard.Lookup(a)
+				if dep.Iter != shadow.None && dep.Tid != accessor {
+					ls.conds = append(ls.conds, laneCond{it: k, accessor: accessor, depTid: dep.Tid, depIter: dep.Iter})
+				}
+				myShard.Update(a, accessor, iterNum)
+			}
+		}
+		lt.Emit(trace.KindShardChunk, int64(l), seq, ch.iterNum)
+		ls.done.Store(seq)
+	}
+}
+
+// merge replays the completed chunk in iteration order on the driver:
+// per-lane conditions are merged and deduplicated exactly as the single
+// scheduler would (addDep keeps the newest iteration per source thread, an
+// order-independent maximum, so the merged set matches Run's), the
+// scheduler-lane trace events are emitted, and the outgoing messages are
+// buffered per worker under the iteration-order publication invariant.
+func (d *shardedRun) merge() {
+	ch, stats := d.ch, d.stats
+	for l := range d.cursor {
+		d.cursor[l] = 0
+	}
+	for k := int32(0); k < ch.n; k++ {
+		iterNum := ch.iterNum + int64(k)
+		tids := ch.tids[ch.tidOff[k]:ch.tidOff[k+1]]
+		d.sch.Emit(trace.KindSchedule, 1, int64(ch.inv), iterNum)
+		d.sch.Emit(trace.KindAddrCheck, ch.counts[k], int64(ch.inv), iterNum)
+		stats.AddrChecks += ch.counts[k]
+		for _, t := range tids {
+			d.pending[t] = d.pending[t][:0]
+		}
+		for l := range d.lanes {
+			lc := d.lanes[l].conds
+			for d.cursor[l] < len(lc) && lc[d.cursor[l]].it == k {
+				c := lc[d.cursor[l]]
+				d.cursor[l]++
+				d.pending[c.accessor] = addDep(d.pending[c.accessor], c.depTid, c.depIter)
+			}
+		}
+		for _, t := range tids {
+			for _, dep := range d.pending[t] {
+				// Publication invariant: dep references ⟨dep.Tid, dep.Iter⟩;
+				// dep.Iter's dispatch was buffered to dep.Tid in an earlier
+				// iteration, so flushing dep.Tid first guarantees it is on
+				// the queue before this condition can be.
+				d.flush(int(dep.Tid))
+				d.outbuf[t] = append(d.outbuf[t], dep)
+				stats.SyncConditions++
+				d.sch.Emit(trace.KindSyncCond, int64(t), int64(dep.Tid), dep.Iter)
+			}
+			d.outbuf[t] = append(d.outbuf[t], cond{Kind: kindRun, Iter: iterNum, Inv: ch.inv, Index: ch.it0 + k})
+			stats.Dispatches++
+			d.sch.Emit(trace.KindDispatch, int64(t), iterNum, 0)
+		}
+		stats.Iterations++
+	}
+	for t := range d.outbuf {
+		d.flush(t)
+	}
+}
+
+// flush publishes worker t's buffered messages with a batched produce (one
+// tail publication per available stretch of ring), recording a queue-full
+// backoff episode when the ring cannot take the whole batch at once. An
+// empty buffer is a no-op, so Batches counts exactly the non-empty
+// publications.
+func (d *shardedRun) flush(t int) {
+	msgs := d.outbuf[t]
+	if len(msgs) == 0 {
+		return
+	}
+	q := d.queues[t]
+	n := q.TryProduceBatch(msgs)
+	if n < len(msgs) {
+		d.sch.Emit(trace.KindQueueFullBegin, int64(t), 0, 0)
+		for spins := 1; n < len(msgs); spins++ {
+			k := q.TryProduceBatch(msgs[n:])
+			if k == 0 {
+				queue.Backoff(spins)
+			} else {
+				n += k
+				spins = 0
+			}
+		}
+		d.sch.Emit(trace.KindQueueFullEnd, int64(t), 0, 0)
+	}
+	d.stats.Batches++
+	if d.sch.Enabled() {
+		d.sch.Emit(trace.KindQueueDepth, int64(q.Len()), int64(t), 0)
+	}
+	d.outbuf[t] = msgs[:0]
+}
+
+// workerBatched is Algorithm 2 on the batched consume path: identical
+// message semantics to worker, but the queue's head index is published
+// once per drained batch instead of once per message. The empty-ring wait
+// uses the same Backoff schedule, so single-CPU boxes still make progress
+// (see TESTING.md, "Single-CPU runners").
+func workerBatched(w Workload, tid int, q *queue.SPSC[cond], latestFinished []paddedInt64, stats *Stats, tt *trace.ThreadTrace) {
+	batch := make([]cond, batchConsume)
+	for {
+		n := q.TryConsumeBatch(batch)
+		if n == 0 {
+			tt.Emit(trace.KindQueueEmptyBegin, int64(tid), 0, 0)
+			for spins := 1; n == 0; spins++ {
+				n = q.TryConsumeBatch(batch)
+				if n == 0 {
+					queue.Backoff(spins)
+				}
+			}
+			tt.Emit(trace.KindQueueEmptyEnd, int64(tid), 0, 0)
+		}
+		for i := 0; i < n; i++ {
+			c := batch[i]
+			switch c.Kind {
+			case kindEnd:
+				// Always the final message on the queue, so no batch tail
+				// can follow it.
+				return
+			case kindDep:
+				if latestFinished[c.Tid].v.Load() < c.Iter {
+					atomic.AddInt64(&stats.Stalls, 1)
+					tt.Emit(trace.KindStallBegin, int64(c.Tid), c.Iter, 0)
+					for spins := 0; latestFinished[c.Tid].v.Load() < c.Iter; spins++ {
+						queue.Backoff(spins)
+					}
+					tt.Emit(trace.KindStallEnd, int64(c.Tid), c.Iter, 0)
+				}
+			case kindRun:
+				tt.Emit(trace.KindIterStart, int64(c.Inv), int64(c.Index), c.Iter)
+				w.Execute(int(c.Inv), int(c.Index), tid)
+				latestFinished[tid].v.Store(c.Iter)
+				tt.Emit(trace.KindIterEnd, int64(c.Inv), int64(c.Index), c.Iter)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package domore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"crossinv/internal/runtime/sched"
+	"crossinv/internal/runtime/shadow"
+	"crossinv/internal/runtime/trace"
+)
+
+func TestRunShardedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := newIrregular(rng, 20, 50, 64, 2)
+	want := w.sequentialRun()
+	stats := RunSharded(w, Options{Workers: 4})
+	for a := range want {
+		if w.data[a] != want[a] {
+			t.Fatalf("data[%d] = %d, want %d", a, w.data[a], want[a])
+		}
+	}
+	if stats.Iterations != 20*50 {
+		t.Fatalf("Iterations = %d, want %d", stats.Iterations, 20*50)
+	}
+	if stats.SyncConditions == 0 {
+		t.Fatal("expected cross-thread dependences on a 64-cell space with 1000 iterations")
+	}
+	if stats.Batches == 0 {
+		t.Fatal("Batches = 0; the sharded driver publishes through batched flushes")
+	}
+}
+
+// TestRunShardedScheduleEquivalence is the core sharding claim: for the
+// same workload, RunSharded produces exactly Run's schedule — every
+// deterministic Stats field agrees, in both address-sourcing modes and
+// across lane counts and chunk sizes that do and don't divide the
+// invocation length. Stalls/LaneWaits/Batches are timing- or mode-specific
+// and deliberately excluded.
+func TestRunShardedScheduleEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		lanes      int
+		batch      int
+		concurrent bool
+	}{
+		{"serial-4x256", 4, 256, false},
+		{"serial-3x7", 3, 7, false},
+		{"serial-1x1", 1, 1, false},
+		{"concurrent-4x64", 4, 64, true},
+		{"concurrent-2x13", 2, 13, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *irregular {
+				return newIrregular(rand.New(rand.NewSource(1234)), 16, 45, 48, 3)
+			}
+			ref := mk()
+			want := Run(ref, Options{Workers: 4})
+
+			w := mk()
+			got := RunSharded(w, Options{
+				Workers: 4, Lanes: tc.lanes, Batch: tc.batch, ConcurrentAddr: tc.concurrent,
+			})
+			for a := range ref.data {
+				if w.data[a] != ref.data[a] {
+					t.Fatalf("data[%d] = %d, Run produced %d", a, w.data[a], ref.data[a])
+				}
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("Iterations = %d, Run = %d", got.Iterations, want.Iterations)
+			}
+			if got.Dispatches != want.Dispatches {
+				t.Errorf("Dispatches = %d, Run = %d", got.Dispatches, want.Dispatches)
+			}
+			if got.SyncConditions != want.SyncConditions {
+				t.Errorf("SyncConditions = %d, Run = %d", got.SyncConditions, want.SyncConditions)
+			}
+			if got.AddrChecks != want.AddrChecks {
+				t.Errorf("AddrChecks = %d, Run = %d", got.AddrChecks, want.AddrChecks)
+			}
+		})
+	}
+}
+
+// TestRunShardedLocalWrite covers multi-owner scheduling: the serial mode
+// shares the driver's LocalWrite (lanes only call its pure Owner), the
+// concurrent mode replays assignments on per-lane instances via NewPolicy.
+func TestRunShardedLocalWrite(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := "serial"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			mk := func() *localWorkload {
+				rng := rand.New(rand.NewSource(5))
+				return &localWorkload{irregular: *newIrregular(rng, 10, 30, 40, 3), space: 40, workers: 4}
+			}
+			ref := mk()
+			want := Run(ref, Options{Workers: 4, Policy: sched.NewLocalWrite(40)})
+
+			w := mk()
+			got := RunSharded(w, Options{
+				Workers:        4,
+				Lanes:          3,
+				Batch:          11,
+				Policy:         sched.NewLocalWrite(40),
+				NewPolicy:      func() sched.Policy { return sched.NewLocalWrite(40) },
+				ConcurrentAddr: concurrent,
+			})
+			for a := range ref.data {
+				if w.data[a] != ref.data[a] {
+					t.Fatalf("data[%d] = %d, Run produced %d", a, w.data[a], ref.data[a])
+				}
+			}
+			if got.Dispatches != want.Dispatches || got.SyncConditions != want.SyncConditions ||
+				got.Iterations != want.Iterations || got.AddrChecks != want.AddrChecks {
+				t.Errorf("sharded stats %+v disagree with Run %+v", got, want)
+			}
+			if got.Dispatches < got.Iterations {
+				t.Errorf("Dispatches (%d) < Iterations (%d); multi-owner iterations should fan out", got.Dispatches, got.Iterations)
+			}
+		})
+	}
+}
+
+// TestRunShardedTinyQueues drives the batched publication path through
+// constant backpressure: chunks far larger than the rings force every
+// flush to split and spin. This is the regression test for the
+// iteration-order publication invariant — a driver that buffers a
+// dispatch past a condition referencing it deadlocks here (worker stalled
+// on an unpublished dispatch while the driver spins on its full ring).
+func TestRunShardedTinyQueues(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	w := newIrregular(rng, 12, 64, 16, 2) // 16-cell space: dependences everywhere
+	want := w.sequentialRun()
+	stats := RunSharded(w, Options{Workers: 3, Lanes: 2, Batch: 64, QueueCap: 2})
+	for a := range want {
+		if w.data[a] != want[a] {
+			t.Fatalf("data[%d] = %d, want %d", a, w.data[a], want[a])
+		}
+	}
+	if stats.SyncConditions == 0 {
+		t.Fatal("tiny address space produced no cross-thread dependences; test lost its point")
+	}
+}
+
+// TestRunShardedTraceParity asserts the trace-derived counters equal the
+// engine's Stats — the same contract the workloadtest suite enforces for
+// Run — plus the sharded-only invariant: every lane emits one
+// KindShardChunk per chunk, and Batches is deterministic across runs.
+func TestRunShardedTraceParity(t *testing.T) {
+	run := func() (Stats, *trace.Summary) {
+		rng := rand.New(rand.NewSource(9))
+		w := newIrregular(rng, 10, 37, 32, 2)
+		rec := trace.NewRecorder()
+		stats := RunSharded(w, Options{Workers: 4, Lanes: 3, Batch: 10, Trace: rec})
+		sum := rec.Summary()
+		return stats, &sum
+	}
+	stats, sum := run()
+	if sum.Counts[trace.KindSchedule] != stats.Iterations {
+		t.Errorf("trace schedules %d != Iterations %d", sum.Counts[trace.KindSchedule], stats.Iterations)
+	}
+	if sum.Counts[trace.KindDispatch] != stats.Dispatches {
+		t.Errorf("trace dispatches %d != Dispatches %d", sum.Counts[trace.KindDispatch], stats.Dispatches)
+	}
+	if sum.Counts[trace.KindSyncCond] != stats.SyncConditions {
+		t.Errorf("trace sync conds %d != SyncConditions %d", sum.Counts[trace.KindSyncCond], stats.SyncConditions)
+	}
+	if sum.Sums[trace.KindAddrCheck] != stats.AddrChecks {
+		t.Errorf("trace addr checks %d != AddrChecks %d", sum.Sums[trace.KindAddrCheck], stats.AddrChecks)
+	}
+	if sum.Counts[trace.KindStallBegin] != stats.Stalls {
+		t.Errorf("trace stalls %d != Stalls %d", sum.Counts[trace.KindStallBegin], stats.Stalls)
+	}
+	// 10 invocations of 37 iterations in chunks of 10 → 4 chunks each.
+	const wantChunks = 10 * 4
+	if got := sum.Counts[trace.KindShardChunk]; got != wantChunks*3 {
+		t.Errorf("trace shard chunks = %d, want %d chunks × 3 lanes", got, wantChunks*3)
+	}
+	stats2, _ := run()
+	if stats2.Batches != stats.Batches {
+		t.Errorf("Batches not deterministic: %d then %d", stats.Batches, stats2.Batches)
+	}
+}
+
+// TestRunShardedDenseShards exercises the NewShard constructor with Dense
+// sub-stores over the workload's compact address space.
+func TestRunShardedDenseShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := newIrregular(rng, 10, 30, 32, 2)
+	want := w.sequentialRun()
+	RunSharded(w, Options{Workers: 4, NewShard: func(int) shadow.Store { return shadow.NewDense(32) }})
+	for a := range want {
+		if w.data[a] != want[a] {
+			t.Fatalf("data[%d] = %d, want %d", a, w.data[a], want[a])
+		}
+	}
+}
+
+// Property: arbitrary access patterns, worker/lane/batch splits, both
+// address modes — the sharded engine always reproduces the sequential
+// result.
+func TestRunShardedQuick(t *testing.T) {
+	prop := func(seed int64, workers, lanes, batch uint8, concurrent bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := newIrregular(rng, 8, 25, 24, 2)
+		want := w.sequentialRun()
+		RunSharded(w, Options{
+			Workers:        int(workers%4) + 1,
+			Lanes:          int(lanes%5) + 1,
+			Batch:          int(batch%40) + 1,
+			ConcurrentAddr: concurrent,
+		})
+		for a := range want {
+			if w.data[a] != want[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardedSteadyStateAllocs proves the zero-allocation steady state:
+// growing the run by 1000 iterations must not grow its allocation count by
+// more than rounding noise, because every chunk structure (cond lists,
+// address arenas, assignment arrays, batch buffers) is reused. Fixed
+// per-run costs (goroutines, queues, shadow headroom) cancel in the
+// difference. AllocsPerRun pins GOMAXPROCS to 1, which doubles as a
+// single-CPU liveness check for the lane handoff and batch consume spins.
+func TestRunShardedSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow under -short")
+	}
+	mkRun := func(invs int) func() {
+		rng := rand.New(rand.NewSource(3))
+		w := newIrregular(rng, invs, 50, 64, 2)
+		return func() {
+			RunSharded(w, Options{Workers: 2, Lanes: 2, Batch: 32})
+		}
+	}
+	small := testing.AllocsPerRun(5, mkRun(4))   // 200 iterations
+	big := testing.AllocsPerRun(5, mkRun(24))    // 1200 iterations
+	marginal := (big - small) / float64(1000)
+	if marginal > 0.05 {
+		t.Errorf("marginal allocations = %.4f/iteration (small run %.0f, big run %.0f); steady state should reuse every buffer",
+			marginal, small, big)
+	}
+}

@@ -122,6 +122,93 @@ func (q *SPSC[T]) TryConsume() (T, bool) {
 	return v, true
 }
 
+// TryProduceBatch appends as many elements of vs as there is room for and
+// returns how many it appended (possibly 0). All appended elements become
+// visible to the consumer with a single tail publication, so the per-element
+// synchronization cost is amortized over the batch — the batched
+// sync-condition path of the sharded DOMORE scheduler. FIFO order within vs
+// is preserved. It must only be called from the producer goroutine.
+func (q *SPSC[T]) TryProduceBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	tail := q.tail.Load()
+	free := uint64(len(q.buf)) - (tail - q.cachedHead)
+	if free < uint64(len(vs)) {
+		q.cachedHead = q.head.Load()
+		free = uint64(len(q.buf)) - (tail - q.cachedHead)
+		if free == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(tail+i)&q.mask] = vs[i]
+	}
+	q.tail.Store(tail + n)
+	return int(n)
+}
+
+// ProduceBatch appends every element of vs, spinning while the ring is full.
+// It must only be called from the producer goroutine.
+func (q *SPSC[T]) ProduceBatch(vs []T) {
+	for spins := 0; len(vs) > 0; spins++ {
+		if n := q.TryProduceBatch(vs); n > 0 {
+			vs = vs[n:]
+			spins = 0
+			continue
+		}
+		Backoff(spins)
+	}
+}
+
+// TryConsumeBatch removes up to len(dst) buffered elements into dst and
+// returns how many it removed (possibly 0). Like TryProduceBatch, the head
+// index is published once per batch. Consumed slots are zeroed so the ring
+// releases references for GC. It must only be called from the consumer
+// goroutine.
+func (q *SPSC[T]) TryConsumeBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	head := q.head.Load()
+	avail := q.cachedTail - head
+	if avail < uint64(len(dst)) {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - head
+		if avail == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		dst[i] = q.buf[(head+i)&q.mask]
+		q.buf[(head+i)&q.mask] = zero
+	}
+	q.head.Store(head + n)
+	return int(n)
+}
+
+// ConsumeBatch removes at least one and up to len(dst) elements into dst,
+// spinning (with the Backoff schedule, so a 1-CPU box still makes progress)
+// until something arrives. len(dst) must be at least 1. It must only be
+// called from the consumer goroutine.
+func (q *SPSC[T]) ConsumeBatch(dst []T) int {
+	for spins := 0; ; spins++ {
+		if n := q.TryConsumeBatch(dst); n > 0 {
+			return n
+		}
+		Backoff(spins)
+	}
+}
+
 // Consume removes and returns the oldest element, spinning until one arrives.
 // It must only be called from the consumer goroutine.
 func (q *SPSC[T]) Consume() T {

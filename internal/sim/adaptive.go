@@ -109,7 +109,9 @@ func SimAdaptive(tr *Trace, cfg AdaptiveConfig, m CostModel) AdaptiveResult {
 		switch engine {
 		case adaptive.EngineBarrier:
 			r = SimBarrier(sub, cfg.Threads, m)
-		case adaptive.EngineDomore:
+		case adaptive.EngineDomore, adaptive.EngineDomoreSharded:
+			// The sharded scheduler reproduces DOMORE's schedule exactly, so
+			// its virtual-time model and monitor signal are DOMORE's.
 			r = SimDomore(sub, workers, m)
 			dec.ManifestRate = manifestRate(sub, workers)
 			sample.ManifestRate = dec.ManifestRate

@@ -333,3 +333,18 @@ func (par *Parallelized) Run(env *interp.Env, opts domore.Options) (domore.Stats
 	stats := domore.Run(w, opts)
 	return stats, w.Finish()
 }
+
+// RunSharded is Run on the sharded scheduler (domore.RunSharded). The
+// interpreter-backed ComputeAddr replays region code against the shared
+// scheduler environment, so it is not safe to call from concurrent lanes;
+// ConcurrentAddr is forced off and the driver sources addresses serially,
+// leaving the lanes the sharded dependence detection.
+func (par *Parallelized) RunSharded(env *interp.Env, opts domore.Options) (domore.Stats, error) {
+	w, err := par.Bind(env, opts.Workers)
+	if err != nil {
+		return domore.Stats{}, err
+	}
+	opts.ConcurrentAddr = false
+	stats := domore.RunSharded(w, opts)
+	return stats, w.Finish()
+}

@@ -114,6 +114,42 @@ func EnginesMatchSequential(t *testing.T, name string) {
 			assertEq(t, "addr checks", sum.Sums[trace.KindAddrCheck], stats.AddrChecks)
 		})
 	}
+	if e.DomoreOK {
+		t.Run("domore-sharded", func(t *testing.T) {
+			// The sharded scheduler must reproduce Run's schedule exactly:
+			// same checksum, and the same deterministic Stats (Stalls and
+			// LaneWaits are timing-dependent and excluded). Every registry
+			// workload's ComputeAddr is pure (precomputed index loads or
+			// pure geometry), so the suite runs the concurrent-lane mode —
+			// the stronger claim, and the one the race pass scrutinizes.
+			ref := Make(e)
+			want := domore.Run(ref.(domore.Workload), domore.Options{Workers: 4})
+			check(t, ref, "domore (reference)")
+
+			inst := Make(e)
+			rec := trace.NewRecorder()
+			stats := domore.RunSharded(inst.(domore.Workload), domore.Options{
+				Workers: 4, Lanes: 3, Batch: 32, ConcurrentAddr: true, Trace: rec,
+			})
+			if stats.Iterations == 0 {
+				t.Fatal("no iterations scheduled")
+			}
+			check(t, inst, "domore-sharded")
+			assertEq(t, "iterations vs Run", stats.Iterations, want.Iterations)
+			assertEq(t, "dispatches vs Run", stats.Dispatches, want.Dispatches)
+			assertEq(t, "sync conditions vs Run", stats.SyncConditions, want.SyncConditions)
+			assertEq(t, "addr checks vs Run", stats.AddrChecks, want.AddrChecks)
+			sum := rec.Summary()
+			assertEq(t, "iterations", sum.Counts[trace.KindSchedule], stats.Iterations)
+			assertEq(t, "dispatches", sum.Counts[trace.KindDispatch], stats.Dispatches)
+			assertEq(t, "sync conditions", sum.Counts[trace.KindSyncCond], stats.SyncConditions)
+			assertEq(t, "stalls", sum.Counts[trace.KindStallBegin], stats.Stalls)
+			assertEq(t, "addr checks", sum.Sums[trace.KindAddrCheck], stats.AddrChecks)
+			if sum.Counts[trace.KindShardChunk] == 0 {
+				t.Error("no shard-chunk events; scheduler lanes did not run")
+			}
+		})
+	}
 	if e.SpecOK {
 		t.Run("speccross", func(t *testing.T) {
 			inst := Make(e)
